@@ -1,0 +1,72 @@
+// Command gcdiff compares two GC logs produced by gcsim -json and prints
+// a side-by-side summary — the quickest way to quantify what an option
+// change did to pauses and device traffic.
+//
+// Usage:
+//
+//	gcsim -app page-rank -config vanilla -json vanilla.jsonl
+//	gcsim -app page-rank -config all     -json all.jsonl
+//	gcdiff vanilla.jsonl all.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nvmgc/internal/gclog"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: gcdiff <a.jsonl> <b.jsonl>")
+		os.Exit(2)
+	}
+	a := load(os.Args[1])
+	b := load(os.Args[2])
+	sa, sb := a.Summarize(), b.Summarize()
+
+	label := func(l gclog.Log, path string) string {
+		if len(l) > 0 {
+			return fmt.Sprintf("%s/%s", l[0].Collector, l[0].Config)
+		}
+		return path
+	}
+	la, lb := label(a, os.Args[1]), label(b, os.Args[2])
+
+	fmt.Printf("%-28s %14s %14s %10s\n", "", la, lb, "ratio")
+	row := func(name string, va, vb float64) {
+		r := "-"
+		if vb != 0 {
+			r = fmt.Sprintf("%.2fx", va/vb)
+		}
+		fmt.Printf("%-28s %14.3f %14.3f %10s\n", name, va, vb, r)
+	}
+	row("collections", float64(sa.Collections), float64(sb.Collections))
+	row("total pause (ms)", sa.TotalPauseMs, sb.TotalPauseMs)
+	row("max pause (ms)", sa.MaxPauseMs, sb.MaxPauseMs)
+	row("p50 pause (ms)", sa.P50PauseMs, sb.P50PauseMs)
+	row("p95 pause (ms)", sa.P95PauseMs, sb.P95PauseMs)
+	row("copied (MB)", sa.CopiedMB, sb.CopiedMB)
+	row("NVM read (MB)", sa.NVMReadMB, sb.NVMReadMB)
+	row("NVM write (MB)", sa.NVMWriteMB, sb.NVMWriteMB)
+	row("NT write share (%)", 100*sa.WriteSeparation, 100*sb.WriteSeparation)
+
+	if sb.TotalPauseMs > 0 && sa.TotalPauseMs > 0 {
+		fmt.Printf("\n%s total GC pause is %.2fx the %s pause\n", la, sa.TotalPauseMs/sb.TotalPauseMs, lb)
+	}
+}
+
+func load(path string) gclog.Log {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcdiff:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	l, err := gclog.ReadJSON(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcdiff:", err)
+		os.Exit(1)
+	}
+	return l
+}

@@ -1,0 +1,180 @@
+// Command gcsim runs a single application profile under one collector
+// configuration and prints a GC log, per-collection statistics, and an
+// optional bandwidth trace — the simulated analogue of running the
+// modified JVM with -Xlog:gc plus Intel PCM.
+//
+// Usage:
+//
+//	gcsim -app page-rank -config all -threads 16
+//	gcsim -app naive-bayes -collector ps -config vanilla -device dram
+//	gcsim -app als -config writecache -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmgc/internal/gc"
+	"nvmgc/internal/gclog"
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+	"nvmgc/internal/workload"
+)
+
+func main() {
+	var (
+		app         = flag.String("app", "page-rank", "application profile name (see -apps)")
+		apps        = flag.Bool("apps", false, "list application profiles and exit")
+		collector   = flag.String("collector", "g1", "collector: g1 or ps")
+		config      = flag.String("config", "vanilla", "options: vanilla, writecache, all, async")
+		device      = flag.String("device", "nvm", "heap device: nvm or dram")
+		younDRAM    = flag.Bool("young-gen-dram", false, "allocate eden on DRAM")
+		threads     = flag.Int("threads", 16, "GC threads")
+		scale       = flag.Float64("scale", 0.5, "workload scale")
+		seed        = flag.Uint64("seed", 1, "workload RNG seed")
+		trace       = flag.Bool("trace", false, "print the NVM bandwidth trace")
+		jsonOut     = flag.String("json", "", "write the GC log as JSON lines to this file ('-' for stdout)")
+		mixedEvery  = flag.Int("mixed-every", 0, "run a mixed GC after every N young GCs")
+		fullEvery   = flag.Int("full-every", 0, "run a full GC after every N young GCs")
+		profileFile = flag.String("profile-file", "", "load a custom workload profile from a JSON file (overrides -app)")
+	)
+	flag.Parse()
+
+	if *apps {
+		for _, p := range workload.Profiles() {
+			fmt.Printf("%-18s %-11s survival %.2f  eden-fills %.1f\n", p.Name, p.Suite, p.Survival, p.EdenFills)
+		}
+		return
+	}
+
+	var prof workload.Profile
+	if *profileFile != "" {
+		var err error
+		prof, err = workload.LoadProfileFile(*profileFile)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		prof = workload.ByName(*app)
+		if prof.Name == "" {
+			fatal(fmt.Errorf("unknown app %q (try -apps)", *app))
+		}
+	}
+	var opt gc.Options
+	switch *config {
+	case "vanilla":
+		opt = gc.Vanilla()
+	case "writecache":
+		opt = gc.WithWriteCache()
+	case "all":
+		opt = gc.Optimized()
+	case "async":
+		opt = gc.Optimized()
+		opt.AsyncFlush = true
+	default:
+		fatal(fmt.Errorf("unknown config %q", *config))
+	}
+	kind := memsim.NVM
+	if *device == "dram" {
+		kind = memsim.DRAM
+	}
+
+	mc := memsim.DefaultConfig()
+	if !*trace {
+		mc.TraceBucket = 0
+	}
+	m := memsim.NewMachine(mc)
+	hc := heap.DefaultConfig()
+	hc.HeapKind = kind
+	hc.YoungOnDRAM = *younDRAM
+	h, err := heap.New(m, hc)
+	if err != nil {
+		fatal(err)
+	}
+	var col gc.Collector
+	if *collector == "ps" {
+		col, err = gc.NewPS(h, opt)
+	} else {
+		col, err = gc.NewG1(h, opt)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	r, err := workload.NewRunner(col, prof, workload.Config{
+		GCThreads: *threads, Scale: *scale, Seed: *seed,
+		MixedGCEvery: *mixedEvery, FullGCEvery: *fullEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s, %s %s, %d GC threads (virtual time)\n",
+		prof.Name, kind, col.Name(), opt.Label(), *threads)
+	fmt.Printf("heap %d MiB, region %d KiB, eden %d regions\n\n",
+		h.HeapBytes()>>20, h.RegionBytes()>>10, hc.EdenRegions)
+
+	for i, c := range res.Collections {
+		fmt.Printf("[gc %2d] pause %8.3fms  copied %6.2f MiB (%d objs, %d promoted)  read-mostly %7.3fms  write-only %7.3fms\n",
+			i, ms(c.Pause), float64(c.BytesCopied)/(1<<20), c.ObjectsCopied, c.ObjectsPromoted,
+			ms(c.ReadMostly), ms(c.WriteOnly))
+		if c.HeaderMapInstalls > 0 || c.HeaderMapFallbacks > 0 {
+			fmt.Printf("        header map: %d hits, %d installs, %d fallbacks\n",
+				c.HeaderMapHits, c.HeaderMapInstalls, c.HeaderMapFallbacks)
+		}
+		if c.CacheRegionsUsed > 0 {
+			fmt.Printf("        write cache: %d regions, %d sync + %d async flushes, %d fallback bytes\n",
+				c.CacheRegionsUsed, c.RegionsFlushedSync, c.RegionsFlushedAsync, c.CacheFallbackBytes)
+		}
+	}
+
+	if *jsonOut != "" {
+		l := gclog.FromCollections(col.Name(), opt, *threads, res.Collections)
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := l.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+		sum := l.Summarize()
+		fmt.Printf("\ngc log summary: %d collections (%d full), total pause %.3f ms, p95 %.3f ms, NT write share %.0f%%\n",
+			sum.Collections, sum.FullGCs, sum.TotalPauseMs, sum.P95PauseMs, 100*sum.WriteSeparation)
+	}
+
+	tot := res.GCTotals()
+	fmt.Printf("\ntotal:   %10.3f ms\napp:     %10.3f ms\ngc:      %10.3f ms (%d collections, max pause %.3f ms)\n",
+		ms(res.Total), ms(res.App), ms(res.GC), tot.Collections, ms(tot.MaxPause))
+	fmt.Printf("gc NVM traffic: %.1f MiB read, %.1f MiB written (%.1f writeback + %.1f non-temporal)\n",
+		float64(tot.NVM.ReadBytes)/(1<<20), float64(tot.NVM.WriteBytes)/(1<<20),
+		float64(tot.NVM.WritebackBytes)/(1<<20), float64(tot.NVM.NTBytes)/(1<<20))
+	fmt.Printf("allocated: %.1f MiB\n", float64(res.Allocated)/(1<<20))
+
+	if *trace {
+		fmt.Println("\nNVM bandwidth trace (MB/s):")
+		for _, pt := range m.NVM.Trace().Series(0) {
+			if pt.Total == 0 {
+				continue
+			}
+			fmt.Printf("%10.2fms  read %8.0f  write %8.0f  total %8.0f\n",
+				ms(pt.T), pt.Read, pt.Write, pt.Total)
+		}
+	}
+}
+
+func ms(t memsim.Time) float64 { return float64(t) / float64(memsim.Millisecond) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Command nvmbench regenerates the paper's tables and figures from the
+// simulated stack.
+//
+// Usage:
+//
+//	nvmbench -list
+//	nvmbench -run fig5 -scale 0.5 -threads 16
+//	nvmbench -run all -quick -format csv -o results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nvmgc/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.Float64("scale", 0.5, "workload scale (fraction of full eden fills)")
+		threads = flag.Int("threads", 0, "override GC thread count (0 = per-experiment default)")
+		seed    = flag.Uint64("seed", 1, "workload RNG seed")
+		quick   = flag.Bool("quick", false, "reduced app sets and sweeps")
+		format  = flag.String("format", "table", "output format: table or csv")
+		out     = flag.String("o", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	params := bench.Params{Scale: *scale, Threads: *threads, Seed: *seed, Quick: *quick}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := bench.ByID(id)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (try -list)", id))
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s...\n", id)
+		rep, err := e.Run(params)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		switch *format {
+		case "csv":
+			fmt.Fprint(w, rep.CSV())
+		default:
+			fmt.Fprintln(w, rep.Render())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvmbench:", err)
+	os.Exit(1)
+}

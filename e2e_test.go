@@ -1,0 +1,100 @@
+// End-to-end smoke tests: build and run every example and CLI binary the
+// way a user would. Skipped under -short (they shell out to the Go
+// toolchain).
+package nvmgc_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func goRun(t *testing.T, timeoutArgs ...string) string {
+	t.Helper()
+	args := append([]string{"run"}, timeoutArgs...)
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go run")
+	}
+	out := goRun(t, "./examples/quickstart")
+	if !strings.Contains(out, "vanilla") || !strings.Contains(out, "+all") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExampleScalability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go run")
+	}
+	out := goRun(t, "./examples/scalability", "-app", "als", "-scale", "0.15")
+	if !strings.Contains(out, "+writecache") || !strings.Contains(out, "56") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestGcsimCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go run")
+	}
+	out := goRun(t, "./cmd/gcsim", "-app", "movie-lens", "-config", "all", "-threads", "8", "-scale", "0.2")
+	for _, want := range []string{"[gc", "total:", "write cache:", "gc NVM traffic"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gcsim output missing %q:\n%s", want, out)
+		}
+	}
+	// The app listing path.
+	out = goRun(t, "./cmd/gcsim", "-apps")
+	if !strings.Contains(out, "page-rank") || !strings.Contains(out, "renaissance") {
+		t.Fatalf("gcsim -apps output:\n%s", out)
+	}
+}
+
+func TestNvmbenchCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go run")
+	}
+	out := goRun(t, "./cmd/nvmbench", "-list")
+	for _, id := range []string{"fig1", "fig13", "tab-prefetch", "abl-traversal"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("nvmbench -list missing %q:\n%s", id, out)
+		}
+	}
+	out = goRun(t, "./cmd/nvmbench", "-run", "tab-prefetch", "-quick", "-format", "csv")
+	if !strings.Contains(out, "NVM-prefetch") {
+		t.Fatalf("nvmbench csv output:\n%s", out)
+	}
+}
+
+func TestGcdiffCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go run")
+	}
+	dir := t.TempDir()
+	va := dir + "/vanilla.jsonl"
+	al := dir + "/all.jsonl"
+	goRun(t, "./cmd/gcsim", "-app", "als", "-config", "vanilla", "-scale", "0.3", "-json", va)
+	goRun(t, "./cmd/gcsim", "-app", "als", "-config", "all", "-scale", "0.3", "-json", al)
+	out := goRun(t, "./cmd/gcdiff", va, al)
+	for _, want := range []string{"total pause (ms)", "ratio", "g1/vanilla", "g1/+all"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gcdiff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNvmprobeCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go run")
+	}
+	out := goRun(t, "./cmd/nvmprobe", "-quick")
+	if !strings.Contains(out, "write share") || !strings.Contains(out, "vs threads") {
+		t.Fatalf("nvmprobe output:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module nvmgc
+
+go 1.23

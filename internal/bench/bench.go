@@ -1,0 +1,242 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 2 and Section 5) from the simulated stack. Each
+// experiment prints the same rows/series the paper reports, scaled to the
+// laptop-sized heap; EXPERIMENTS.md records the paper-vs-measured
+// comparison.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"nvmgc/internal/gc"
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+	"nvmgc/internal/metrics"
+	"nvmgc/internal/workload"
+)
+
+// Params tunes an experiment run.
+type Params struct {
+	// Scale multiplies each profile's run length (eden fills). 0 -> 0.5.
+	Scale float64
+	// Threads overrides the per-experiment default GC thread count.
+	Threads int
+	// Seed for workload RNGs. 0 -> 1.
+	Seed uint64
+	// Quick restricts app sets and sweeps for fast smoke runs.
+	Quick bool
+}
+
+func (p Params) scale() float64 {
+	if p.Scale <= 0 {
+		return 0.5
+	}
+	return p.Scale
+}
+
+func (p Params) seed() uint64 {
+	if p.Seed == 0 {
+		return 1
+	}
+	return p.Seed
+}
+
+func (p Params) threads(def int) int {
+	if p.Threads > 0 {
+		return p.Threads
+	}
+	return def
+}
+
+// Report is an experiment's output: one or more tables plus free-form
+// notes (averages, headline ratios).
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	Notes  []string
+}
+
+// Render returns the report as plain text.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV returns all tables in CSV form.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+		b.WriteString(t.CSV())
+	}
+	return b.String()
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Params) (*Report, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Application and GC time when replacing DRAM with NVM", Fig1},
+		{"fig2", "Bandwidth statistics for the page-rank application", Fig2},
+		{"fig3", "Bandwidth statistics for the als application", Fig3},
+		{"tab-prefetch", "Software-prefetch micro-benchmark (Section 4.3)", PrefetchTable},
+		{"fig5", "GC time for various applications", Fig5},
+		{"fig6", "NVM bandwidth during GC", Fig6},
+		{"fig7", "Split NVM bandwidth during GC for three applications", Fig7},
+		{"fig8", "Tail-latency reduction for Cassandra", Fig8},
+		{"fig9", "Application time reduction", Fig9},
+		{"fig10", "Results with different header map sizes", Fig10},
+		{"fig11", "Results with different write cache settings", Fig11},
+		{"fig12", "Cost-efficiency analysis", Fig12},
+		{"fig13", "GC scalability", Fig13},
+		{"fig14", "GC time for PS", Fig14},
+		{"tab-device", "Simulated device characterization (Section 2 substrate)", DeviceTable},
+		{"abl-traversal", "DFS vs BFS traversal ablation (Section 4.3)", AblTraversal},
+		{"abl-nt", "Non-temporal write-back ablation (Section 4.1)", AblNonTemporal},
+		{"abl-flush-chunk", "Flush-granularity ablation (Section 4.2)", AblFlushChunk},
+		{"abl-hm-threads", "Header-map threshold ablation (Section 3.3)", AblHeaderMapThreshold},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// runSpec describes one application run.
+type runSpec struct {
+	app         workload.Profile
+	heapKind    memsim.Kind
+	youngOnDRAM bool
+	ps          bool
+	opt         gc.Options
+	threads     int
+	scale       float64
+	seed        uint64
+	trace       bool
+}
+
+// machineConfig is the standard simulated host for all experiments.
+func machineConfig(trace bool) memsim.Config {
+	cfg := memsim.DefaultConfig()
+	if !trace {
+		cfg.TraceBucket = 0
+	}
+	return cfg
+}
+
+// heapConfig is the standard heap: 1024 x 64 KiB regions (the paper's
+// 2048-region / 16 GiB layout scaled to 64 MiB), a 12 MiB eden, and a
+// DRAM cache pool able to host the unlimited-write-cache mode.
+func heapConfig(kind memsim.Kind, youngOnDRAM bool) heap.Config {
+	hc := heap.DefaultConfig()
+	hc.HeapKind = kind
+	hc.YoungOnDRAM = youngOnDRAM
+	return hc
+}
+
+// newHeapFor builds the standard heap for a spec on machine m.
+func newHeapFor(m *memsim.Machine, spec runSpec) (*heap.Heap, error) {
+	return heap.New(m, heapConfig(spec.heapKind, spec.youngOnDRAM))
+}
+
+// runWith executes the spec's workload on an existing collector.
+func runWith(col gc.Collector, spec runSpec) (workload.Result, error) {
+	r, err := workload.NewRunner(col, spec.app, workload.Config{
+		GCThreads: spec.threads,
+		Scale:     spec.scale,
+		Seed:      spec.seed,
+	})
+	if err != nil {
+		return workload.Result{}, err
+	}
+	return r.Run()
+}
+
+// runOne executes one application run and returns the result plus the
+// machine (for traces and marks).
+func runOne(spec runSpec) (workload.Result, *memsim.Machine, error) {
+	m := memsim.NewMachine(machineConfig(spec.trace))
+	h, err := newHeapFor(m, spec)
+	if err != nil {
+		return workload.Result{}, nil, err
+	}
+	var col gc.Collector
+	if spec.ps {
+		col, err = gc.NewPS(h, spec.opt)
+	} else {
+		col, err = gc.NewG1(h, spec.opt)
+	}
+	if err != nil {
+		return workload.Result{}, nil, err
+	}
+	res, err := runWith(col, spec)
+	if err != nil {
+		return workload.Result{}, nil, err
+	}
+	return res, m, nil
+}
+
+// seconds converts virtual time to float seconds.
+func seconds(t memsim.Time) float64 { return float64(t) / float64(memsim.Second) }
+
+// ms converts virtual time to float milliseconds.
+func ms(t memsim.Time) float64 { return float64(t) / float64(memsim.Millisecond) }
+
+// appList returns the experiment's application set, honouring Quick.
+func appList(p Params, quickSet []string) []workload.Profile {
+	if p.Quick {
+		out := make([]workload.Profile, 0, len(quickSet))
+		for _, n := range quickSet {
+			out = append(out, workload.ByName(n))
+		}
+		return out
+	}
+	return workload.Profiles()
+}
+
+var defaultQuickApps = []string{"akka-uct", "als", "naive-bayes", "page-rank"}
+
+// gcBandwidthMBps computes the average NVM bandwidth during GC pauses
+// from per-collection device deltas.
+func gcBandwidthMBps(collections []gc.CollectionStats) float64 {
+	var bytes int64
+	var pause memsim.Time
+	for _, c := range collections {
+		bytes += c.NVM.Total()
+		pause += c.Pause
+	}
+	if pause == 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / seconds(pause)
+}
+
+// ratio guards division.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func quickParams() Params {
+	return Params{Scale: 0.15, Quick: true, Seed: 1}
+}
+
+func TestRegistry(t *testing.T) {
+	exps := All()
+	if len(exps) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		got, ok := ByID(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Fatalf("ByID(%q) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	var p Params
+	if p.scale() != 0.5 || p.seed() != 1 || p.threads(16) != 16 {
+		t.Fatal("defaults wrong")
+	}
+	p = Params{Scale: 2, Seed: 9, Threads: 4}
+	if p.scale() != 2 || p.seed() != 9 || p.threads(16) != 4 {
+		t.Fatal("overrides wrong")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep, err := PrefetchTable(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "tab-prefetch") || !strings.Contains(out, "NVM-prefetch") {
+		t.Fatalf("render:\n%s", out)
+	}
+	csv := rep.CSV()
+	if !strings.Contains(csv, "configuration,result (s)") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestPrefetchTableShape(t *testing.T) {
+	rep, err := PrefetchTable(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	get := func(name string) float64 {
+		for _, r := range rows {
+			if r[0] == name {
+				var v float64
+				if _, err := sscan(r[1], &v); err != nil {
+					t.Fatalf("parse %q: %v", r[1], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return 0
+	}
+	dn, dp := get("DRAM-noprefetch"), get("DRAM-prefetch")
+	nn, np := get("NVM-noprefetch"), get("NVM-prefetch")
+	if dp >= dn || np >= nn {
+		t.Fatalf("prefetch should help both devices: dram %g->%g nvm %g->%g", dn, dp, nn, np)
+	}
+	if nn/np <= dn/dp {
+		t.Fatalf("NVM should benefit more than DRAM: %g vs %g", nn/np, dn/dp)
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+// Every experiment must run end-to-end at quick scale and produce at
+// least one non-empty table.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are slow")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(quickParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			nonEmpty := false
+			for _, tb := range rep.Tables {
+				if len(tb.Rows) > 0 {
+					nonEmpty = true
+				}
+			}
+			if !nonEmpty {
+				t.Fatalf("all tables empty:\n%s", rep.Render())
+			}
+		})
+	}
+}

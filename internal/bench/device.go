@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"nvmgc/internal/memsim"
+	"nvmgc/internal/metrics"
+)
+
+// DeviceTable characterizes the simulated devices the way prior work
+// (Izraelevitz et al., Yang et al. — the measurements Section 2 builds
+// on) characterizes real Optane: latency gap, bandwidth asymmetry,
+// random-access amplification, sensitivity of total bandwidth to the
+// write fraction, and read-bandwidth saturation with thread count.
+func DeviceTable(p Params) (*Report, error) {
+	rep := &Report{ID: "tab-device", Title: "Simulated device characterization"}
+
+	ops := 20_000
+	if p.Quick {
+		ops = 4_000
+	}
+
+	// 1. Latency + single-thread bandwidth per access pattern.
+	patterns := []struct {
+		name string
+		run  func(w *memsim.Worker, dev *memsim.Device, i int)
+		n    int64 // bytes moved per op
+	}{
+		{"seq read 4K", func(w *memsim.Worker, d *memsim.Device, i int) {
+			w.Read(d, uint64(1<<33)+uint64(i)*4096, 4096, true)
+		}, 4096},
+		{"rand read 64B", func(w *memsim.Worker, d *memsim.Device, i int) {
+			w.Read(d, uint64(1<<33)+uint64((i*2654435761)%(1<<26))*64, 64, false)
+		}, 64},
+		{"seq write 4K (cached)", func(w *memsim.Worker, d *memsim.Device, i int) {
+			w.Write(d, uint64(1<<33)+uint64(i)*4096, 4096, true)
+		}, 4096},
+		{"seq write 4K (non-temporal)", func(w *memsim.Worker, d *memsim.Device, i int) {
+			w.WriteNT(d, uint64(1<<33)+uint64(i)*4096, 4096)
+		}, 4096},
+		{"rand write 64B", func(w *memsim.Worker, d *memsim.Device, i int) {
+			w.Write(d, uint64(1<<33)+uint64((i*2654435761)%(1<<26))*64, 64, false)
+		}, 64},
+	}
+	t1 := &metrics.Table{
+		Title:   "Single-thread goodput by access pattern (MB/s of payload bytes)",
+		Columns: []string{"pattern", "DRAM", "NVM", "DRAM/NVM"},
+	}
+	for _, pat := range patterns {
+		var bw [2]float64
+		for ki, kind := range []memsim.Kind{memsim.DRAM, memsim.NVM} {
+			m := memsim.NewMachine(machineConfig(false))
+			dev := m.Device(kind)
+			el := m.Run(1, func(w *memsim.Worker) {
+				for i := 0; i < ops; i++ {
+					pat.run(w, dev, i)
+				}
+			})
+			bw[ki] = float64(int64(ops)*pat.n) / 1e6 / seconds(el)
+		}
+		t1.AddRow(pat.name, bw[0], bw[1], bw[0]/bw[1])
+	}
+	rep.Tables = append(rep.Tables, t1)
+
+	// 2. NVM total bandwidth vs write fraction of the traffic mix.
+	t2 := &metrics.Table{
+		Title:   "NVM aggregate bandwidth vs write share (8 threads, 4K sequential ops)",
+		Columns: []string{"write fraction", "total (MB/s)", "read (MB/s)", "write (MB/s)"},
+	}
+	for _, wf := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1} {
+		m := memsim.NewMachine(machineConfig(false))
+		dev := m.NVM
+		perWorker := ops / 4
+		el := m.Run(8, func(w *memsim.Worker) {
+			base := uint64(1<<33) + uint64(w.ID())<<28
+			for i := 0; i < perWorker; i++ {
+				if float64(i%100) < wf*100 {
+					w.Write(dev, base+uint64(i)*4096, 4096, true)
+				} else {
+					w.Read(dev, base+uint64(i)*4096, 4096, true)
+				}
+			}
+		})
+		s := dev.Stats()
+		t2.AddRow(wf,
+			float64(s.Total())/1e6/seconds(el),
+			float64(s.ReadBytes)/1e6/seconds(el),
+			float64(s.WriteBytes)/1e6/seconds(el))
+	}
+	rep.Tables = append(rep.Tables, t2)
+
+	// 3. Read-bandwidth scaling with thread count, DRAM vs NVM.
+	t3 := &metrics.Table{
+		Title:   "Aggregate sequential-read bandwidth vs threads (MB/s)",
+		Columns: []string{"threads", "DRAM", "NVM"},
+	}
+	for _, th := range []int{1, 2, 4, 8, 16, 32} {
+		var bw [2]float64
+		for ki, kind := range []memsim.Kind{memsim.DRAM, memsim.NVM} {
+			m := memsim.NewMachine(machineConfig(false))
+			dev := m.Device(kind)
+			perWorker := ops / 2
+			el := m.Run(th, func(w *memsim.Worker) {
+				base := uint64(1<<33) + uint64(w.ID())<<28
+				for i := 0; i < perWorker; i++ {
+					w.Read(dev, base+uint64(i)*4096, 4096, true)
+				}
+			})
+			bw[ki] = float64(dev.Stats().ReadBytes) / 1e6 / seconds(el)
+		}
+		t3.AddRow(th, bw[0], bw[1])
+	}
+	rep.Tables = append(rep.Tables, t3)
+
+	rep.Notes = append(rep.Notes,
+		"expected shapes: NVM latency/bandwidth below DRAM everywhere; random 64B ops amplified 4x on NVM (256B XPLine); non-temporal beats cached sequential writes on NVM; NVM total bandwidth collapses as the write share rises; NVM read bandwidth saturates at low thread counts while DRAM keeps scaling")
+	return rep, nil
+}

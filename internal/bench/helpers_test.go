@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nvmgc/internal/gc"
+	"nvmgc/internal/memsim"
+)
+
+func TestStatHelpers(t *testing.T) {
+	if mean(nil) != 0 || maxOf(nil) != 0 || minOf(nil) != 0 {
+		t.Fatal("empty-slice helpers should return 0")
+	}
+	v := []float64{2, 8, 5}
+	if mean(v) != 5 || maxOf(v) != 8 || minOf(v) != 2 {
+		t.Fatalf("helpers wrong: %v %v %v", mean(v), maxOf(v), minOf(v))
+	}
+	if ratio(1, 0) != 0 || ratio(6, 3) != 2 {
+		t.Fatal("ratio wrong")
+	}
+	if seconds(memsim.Second) != 1 || ms(memsim.Millisecond) != 1 {
+		t.Fatal("time conversions wrong")
+	}
+}
+
+func TestGCBandwidth(t *testing.T) {
+	if gcBandwidthMBps(nil) != 0 {
+		t.Fatal("no collections should give 0")
+	}
+	cs := []gc.CollectionStats{{
+		Pause: memsim.Second,
+		NVM:   memsim.DeviceStats{ReadBytes: 500_000_000, WriteBytes: 500_000_000},
+	}}
+	if got := gcBandwidthMBps(cs); math.Abs(got-1000) > 1 {
+		t.Fatalf("bandwidth = %v, want 1000", got)
+	}
+}
+
+func TestAppList(t *testing.T) {
+	full := appList(Params{}, defaultQuickApps)
+	if len(full) != 26 {
+		t.Fatalf("full list = %d", len(full))
+	}
+	quick := appList(Params{Quick: true}, []string{"als", "page-rank"})
+	if len(quick) != 2 || quick[0].Name != "als" {
+		t.Fatalf("quick list = %v", quick)
+	}
+}
+
+func TestTraceTable(t *testing.T) {
+	cfg := memsim.DefaultConfig() // tracing on
+	m := memsim.NewMachine(cfg)
+	m.Mark("gc-start")
+	m.Run(1, func(w *memsim.Worker) {
+		for i := 0; i < 64; i++ {
+			w.Read(m.NVM, uint64(i)*4096, 4096, true)
+		}
+	})
+	m.Mark("gc-end")
+	tb := traceTable("test", m, m.NVM, 0, m.Now(), 8)
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	sawGC, sawTraffic := false, false
+	for _, row := range tb.Rows {
+		if row[4] == "*" {
+			sawGC = true
+		}
+		if row[3] != "0" {
+			sawTraffic = true
+		}
+	}
+	if !sawGC || !sawTraffic {
+		t.Fatalf("table missing GC flag or traffic:\n%s", tb.Render())
+	}
+	// Degenerate windows yield an empty (but valid) table.
+	empty := traceTable("empty", m, m.NVM, 10, 10, 8)
+	if len(empty.Rows) != 0 {
+		t.Fatal("degenerate window should have no rows")
+	}
+}
+
+func TestHeapConfigModes(t *testing.T) {
+	hc := heapConfig(memsim.DRAM, true)
+	if hc.HeapKind != memsim.DRAM || !hc.YoungOnDRAM {
+		t.Fatalf("config = %+v", hc)
+	}
+	if !strings.Contains(machineConfig(true).DRAM.Kind.String(), "DRAM") {
+		t.Fatal("machine config broken")
+	}
+	if machineConfig(false).TraceBucket != 0 {
+		t.Fatal("tracing should be off when not requested")
+	}
+	if machineConfig(true).TraceBucket == 0 {
+		t.Fatal("tracing should be on when requested")
+	}
+}

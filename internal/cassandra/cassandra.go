@@ -1,0 +1,220 @@
+// Package cassandra models the paper's tail-latency experiment
+// (Section 5.4, Figure 8): a cassandra-stress style client driving a
+// NoSQL server JVM whose stop-the-world GC pauses stall request
+// processing. The server's memory behaviour comes from a workload profile
+// run over the simulated heap; request latencies are then derived exactly
+// from the resulting pause timeline with an open-loop multi-server queue
+// operating in "active time" (wall time minus accumulated pause time).
+package cassandra
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"nvmgc/internal/gc"
+	"nvmgc/internal/memsim"
+	"nvmgc/internal/metrics"
+	"nvmgc/internal/workload"
+)
+
+// Interval is a closed-open span of virtual time.
+type Interval struct {
+	Start, End memsim.Time
+}
+
+// PauseIntervals extracts GC pause intervals from a machine's phase marks
+// within [from, to).
+func PauseIntervals(m *memsim.Machine, from, to memsim.Time) []Interval {
+	var out []Interval
+	var start memsim.Time = -1
+	for _, mk := range m.Marks() {
+		if mk.T < from || mk.T > to {
+			continue
+		}
+		switch mk.Label {
+		case "gc-start":
+			start = mk.T
+		case "gc-end":
+			if start >= 0 {
+				out = append(out, Interval{Start: start, End: mk.T})
+				start = -1
+			}
+		}
+	}
+	return out
+}
+
+// Phase describes one cassandra-stress phase (write-only or read-only).
+type Phase struct {
+	Name    string
+	Profile workload.Profile
+	// Service is the mean request service time outside GC pauses.
+	Service memsim.Time
+	// Servers is the request-processing parallelism.
+	Servers int
+}
+
+// WritePhase returns the insert-only phase: allocation-heavy (memtable
+// churn), larger survival (batched flushes), moderate service time.
+func WritePhase() Phase {
+	return Phase{
+		Name: "write",
+		Profile: workload.Profile{
+			Name: "cassandra-write", Suite: "cassandra",
+			ObjWords: 6, RefsPerObj: 2, ChainLen: 12,
+			PrimArrayFrac: 0.35, PrimArrayWords: 256,
+			Survival: 0.35, ChurnDrop: 0.70, HolderFrac: 0.5,
+			LongLivedFrac: 0.20, HolderArrays: 16, HolderSlots: 256,
+			CPUNsPerKB: 600, RandReadsPerKB: 4, SeqKBPerKB: 0.2,
+			EdenFills: 6,
+		},
+		Service: 60 * memsim.Microsecond,
+		Servers: 16,
+	}
+}
+
+// ReadPhase returns the read-only phase: lighter allocation (row cache
+// hits and response buffers), shorter-lived garbage.
+func ReadPhase() Phase {
+	return Phase{
+		Name: "read",
+		Profile: workload.Profile{
+			Name: "cassandra-read", Suite: "cassandra",
+			ObjWords: 6, RefsPerObj: 2, ChainLen: 8,
+			PrimArrayFrac: 0.30, PrimArrayWords: 128,
+			Survival: 0.22, ChurnDrop: 0.85, HolderFrac: 0.3,
+			LongLivedFrac: 0.20, HolderArrays: 16, HolderSlots: 256,
+			CPUNsPerKB: 550, RandReadsPerKB: 6, SeqKBPerKB: 0.3,
+			EdenFills: 5,
+		},
+		Service: 45 * memsim.Microsecond,
+		Servers: 16,
+	}
+}
+
+// StressResult is one point of the throughput-latency curve.
+type StressResult struct {
+	ThroughputKQPS float64
+	P95ms, P99ms   float64
+	MeanMs         float64
+	Requests       int
+}
+
+// RunPhase executes the server-side workload under the given collector and
+// returns the pause timeline and run window needed for latency simulation.
+func RunPhase(col gc.Collector, phase Phase, cfg workload.Config) ([]Interval, memsim.Time, error) {
+	m := col.Heap().Machine()
+	r, err := workload.NewRunner(col, phase.Profile, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := m.Now()
+	res, err := r.Run()
+	if err != nil {
+		return nil, 0, err
+	}
+	pauses := PauseIntervals(m, start+res.Setup, m.Now())
+	return pauses, res.Total, nil
+}
+
+// Latencies simulates an open-loop Poisson request stream of the given
+// throughput (requests per virtual second) against a server that only
+// makes progress outside the GC pauses. It returns per-request latencies
+// in milliseconds.
+//
+// The queue is exact: requests are served FIFO by `servers` workers in
+// active time a(t) = t - (pause time before t); latency is the wall-clock
+// distance from arrival to completion mapped back through a's inverse.
+func Latencies(pauses []Interval, window memsim.Time, throughputQPS float64, service memsim.Time, servers int, seed uint64) []float64 {
+	if window <= 0 || throughputQPS <= 0 || servers < 1 {
+		return nil
+	}
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i].Start < pauses[j].Start })
+	// Prefix sums of pause time for the active-time transform.
+	starts := make([]memsim.Time, len(pauses))
+	prefix := make([]memsim.Time, len(pauses)+1)
+	for i, p := range pauses {
+		starts[i] = p.Start
+		prefix[i+1] = prefix[i] + (p.End - p.Start)
+	}
+	active := func(t memsim.Time) memsim.Time {
+		// pause time fully before t
+		i := sort.Search(len(pauses), func(i int) bool { return pauses[i].End > t })
+		a := t - prefix[i]
+		if i < len(pauses) && t > pauses[i].Start {
+			a -= t - pauses[i].Start // inside pause i
+		}
+		return a
+	}
+	inverse := func(a memsim.Time) memsim.Time {
+		// Wall time whose active time is a: add the durations of every
+		// pause whose start (in active time, pauses[i].Start-prefix[i])
+		// is at or before a. That start sequence is increasing, so
+		// binary-search it.
+		idx := sort.Search(len(pauses), func(i int) bool {
+			return pauses[i].Start-prefix[i] > a
+		})
+		return a + prefix[idx]
+	}
+
+	rng := rand.New(rand.NewPCG(seed, 0xDA7A))
+	meanGap := float64(memsim.Second) / throughputQPS
+	free := make([]memsim.Time, servers) // per-server next-free, in active time
+	var lat []float64
+	for t := memsim.Time(rng.ExpFloat64() * meanGap); t < window; t += memsim.Time(rng.ExpFloat64()*meanGap) + 1 {
+		aArr := active(t)
+		// Earliest-free server.
+		best := 0
+		for i := 1; i < servers; i++ {
+			if free[i] < free[best] {
+				best = i
+			}
+		}
+		start := aArr
+		if free[best] > start {
+			start = free[best]
+		}
+		svc := memsim.Time(rng.ExpFloat64() * float64(service))
+		if svc < service/8 {
+			svc = service / 8
+		}
+		finish := start + svc
+		free[best] = finish
+		wallFinish := inverse(finish)
+		lat = append(lat, float64(wallFinish-t)/float64(memsim.Millisecond))
+	}
+	return lat
+}
+
+// Stress computes the latency curve points for the given pause timeline.
+func Stress(pauses []Interval, window memsim.Time, phase Phase, throughputsKQPS []float64, seed uint64) []StressResult {
+	out := make([]StressResult, 0, len(throughputsKQPS))
+	for _, kqps := range throughputsKQPS {
+		l := Latencies(pauses, window, kqps*1000, phase.Service, phase.Servers, seed)
+		s := metrics.Summarize(l)
+		out = append(out, StressResult{
+			ThroughputKQPS: kqps,
+			P95ms:          s.P95,
+			P99ms:          s.P99,
+			MeanMs:         s.Mean,
+			Requests:       s.N,
+		})
+	}
+	return out
+}
+
+// Validate sanity-checks a stress result series: latency percentiles must
+// be finite and non-decreasing in percentile order.
+func Validate(rs []StressResult) error {
+	for _, r := range rs {
+		if math.IsNaN(r.P95ms) || math.IsNaN(r.P99ms) {
+			return fmt.Errorf("cassandra: NaN latency at %0.0f kqps", r.ThroughputKQPS)
+		}
+		if r.P99ms < r.P95ms {
+			return fmt.Errorf("cassandra: p99 %.3f below p95 %.3f at %0.0f kqps", r.P99ms, r.P95ms, r.ThroughputKQPS)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package gc
+
+import (
+	"fmt"
+
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+)
+
+// Collector is a stop-the-world copying garbage collector. Both G1 and
+// PS implement it; they additionally provide CollectMixed and CollectFull
+// for the other two algorithms of G1's three-fold design (Section 2.1).
+type Collector interface {
+	// Name identifies the algorithm ("g1" or "ps").
+	Name() string
+	// Heap returns the heap the collector manages.
+	Heap() *heap.Heap
+	// Collect runs one young collection with the given thread count and
+	// returns its statistics. The heap's machine clock advances by the
+	// pause time.
+	Collect(threads int) (CollectionStats, error)
+	// Collections returns the statistics of every collection so far.
+	Collections() []CollectionStats
+}
+
+type base struct {
+	h    *heap.Heap
+	opt  Options
+	hm   *HeaderMap
+	ps   bool
+	name string
+
+	collections []CollectionStats
+}
+
+func newBase(h *heap.Heap, opt Options, ps bool, name string) (*base, error) {
+	b := &base{h: h, opt: opt, ps: ps, name: name}
+	if opt.HeaderMap {
+		hm, err := NewHeaderMap(h, opt.headerMapBudget(h.HeapBytes()))
+		if err != nil {
+			return nil, err
+		}
+		b.hm = hm
+	}
+	if opt.AsyncFlush && !opt.WriteCache {
+		return nil, fmt.Errorf("gc: AsyncFlush requires WriteCache")
+	}
+	return b, nil
+}
+
+// Name implements Collector.
+func (b *base) Name() string { return b.name }
+
+// Heap implements Collector.
+func (b *base) Heap() *heap.Heap { return b.h }
+
+// Options returns the collector's option set.
+func (b *base) Options() Options { return b.opt }
+
+// HeaderMap returns the collector's header map, or nil.
+func (b *base) HeaderMap() *HeaderMap { return b.hm }
+
+// Collections implements Collector.
+func (b *base) Collections() []CollectionStats { return b.collections }
+
+// Totals aggregates all collections so far.
+func (b *base) Totals() Totals { return TotalsOf(b.collections) }
+
+// Collect implements Collector.
+func (b *base) Collect(threads int) (CollectionStats, error) {
+	return b.collect(threads, gcYoung, nil, 0)
+}
+
+// CollectFull runs a full collection: the whole heap (young generation
+// and old space) forms the collection set and liveness is rediscovered
+// from the external roots alone, compacting the old space. This is the
+// bottom-line algorithm of Section 2.1 — in G1 it only runs when young
+// and mixed collections cannot reclaim enough memory. Note that a full
+// GC moves old objects, so raw addresses held outside the heap (other
+// than root slots) become stale.
+func (b *base) CollectFull(threads int) (CollectionStats, error) {
+	return b.collect(threads, gcFull, nil, 0)
+}
+
+// CollectMixed runs a mixed collection (the second of G1's three
+// algorithms, Section 2.1): a marking pass computes per-region liveness,
+// then the young generation plus up to maxOldRegions of the
+// garbage-richest old regions are evacuated together. The marking
+// duration is reported in MarkTime but not counted as pause (it is
+// concurrent in real G1). Old objects move, so raw addresses held
+// outside the heap become stale.
+func (b *base) CollectMixed(threads, maxOldRegions int) (CollectionStats, error) {
+	if maxOldRegions < 0 {
+		maxOldRegions = 0
+	}
+	lv := b.MarkLiveness()
+	cands := mixedCandidates(b.h, lv, maxOldRegions, 0.85)
+	s, err := b.collect(threads, gcMixed, cands, lv.Duration)
+	return s, err
+}
+
+type gcMode uint8
+
+const (
+	gcYoung gcMode = iota
+	gcMixed
+	gcFull
+)
+
+func (b *base) collect(threads int, mode gcMode, oldCands []*heap.Region, markTime memsim.Time) (CollectionStats, error) {
+	if threads < 1 {
+		return CollectionStats{}, fmt.Errorf("gc: thread count %d", threads)
+	}
+	m := b.h.Machine()
+	nvm0, dram0 := m.NVM.Stats(), m.DRAM.Stats()
+
+	m.Mark("gc-start")
+	var cset []*heap.Region
+	switch mode {
+	case gcFull:
+		cset = b.h.BeginFullCollection()
+	case gcMixed:
+		cset = b.h.BeginMixedCollection(oldCands)
+	default:
+		cset = b.h.BeginCollection()
+	}
+	c := newCycle(b.h, b.opt, threads, b.hm, b.ps)
+	c.full = mode == gcFull
+	c.prepare(cset)
+
+	start := m.Now()
+	m.Run(threads, c.run)
+	end := m.Now()
+	if c.err != nil {
+		return CollectionStats{}, c.err
+	}
+	b.h.FinishCollection(cset)
+	if mode != gcYoung {
+		// Mixed and full collections retire old regions; drop remembered
+		// set entries whose slots lived in them.
+		b.h.ScrubRemSets()
+	}
+	m.Mark("gc-end")
+
+	s := c.stats
+	s.Full = mode == gcFull
+	s.Mixed = mode == gcMixed
+	s.MarkTime = markTime
+	s.Pause = end - start
+	s.ReadMostly = c.readMostlyEnd - start
+	s.WriteOnly = c.writeOnlyEnd - c.readMostlyEnd
+	s.Cleanup = end - c.writeOnlyEnd
+	s.NVM = m.NVM.Stats().Sub(nvm0)
+	s.DRAM = m.DRAM.Stats().Sub(dram0)
+	b.collections = append(b.collections, s)
+	return s, nil
+}
+
+// G1 is the Garbage-First young collector: per-thread survivor regions,
+// region-grained evacuation, remembered-set roots, work stealing, and
+// referent prefetching on work-stack pushes (present in vanilla G1).
+type G1 struct{ base }
+
+// NewG1 builds a G1 collector over h with the given options.
+func NewG1(h *heap.Heap, opt Options) (*G1, error) {
+	b, err := newBase(h, opt, false, "g1")
+	if err != nil {
+		return nil, err
+	}
+	return &G1{base: *b}, nil
+}
+
+// PS is the Parallel Scavenge young collector: survivors are copied into
+// thread-local allocation buffers (LABs) carved from shared regions, and
+// large objects are copied directly without LABs — which is why the write
+// cache absorbs fewer of its writes (Section 4.4). Vanilla PS issues no
+// software prefetches.
+type PS struct{ base }
+
+// NewPS builds a PS collector over h with the given options.
+func NewPS(h *heap.Heap, opt Options) (*PS, error) {
+	b, err := newBase(h, opt, true, "ps")
+	if err != nil {
+		return nil, err
+	}
+	return &PS{base: *b}, nil
+}

@@ -1,0 +1,697 @@
+package gc
+
+import (
+	"fmt"
+
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+)
+
+// destRegion is one evacuation destination: an NVM region (final),
+// optionally fronted by a DRAM cache region (phys) under the write-cache
+// optimization. Objects are copied to phys; forwarding pointers and
+// reference updates always carry the final address.
+type destRegion struct {
+	phys  *heap.Region
+	final *heap.Region
+	kind  heap.RegionKind // final role: RegionSurvivor or RegionOld
+
+	// Asynchronous-flush bookkeeping (Section 4.2): a cache region may be
+	// written back during traversal only once it is full, every reference
+	// slot inside has been processed (pending == 0), no LAB still points
+	// into it, and no slot in it was work-stolen.
+	pending  int64
+	labHolds int64
+	full     bool
+	stolen   bool
+	flushed  bool
+}
+
+func (d *destRegion) cached() bool { return d.phys != d.final }
+
+// alloc bumps the physical region and returns both the physical address
+// (where bytes are written) and the final NVM address (what references and
+// forwarding pointers record).
+func (d *destRegion) alloc(size int64) (phys, final heap.Address, ok bool) {
+	a, ok := d.phys.Alloc(size)
+	if !ok {
+		return 0, 0, false
+	}
+	f := a
+	if d.cached() {
+		f = d.final.Start + (a - d.phys.Start)
+		d.final.Top = d.final.Start + (d.phys.Top - d.phys.Start)
+	}
+	return a, f, true
+}
+
+// barrier synchronizes all workers of a cycle between sub-phases and
+// records the virtual time the last worker arrived.
+type barrier struct {
+	n       int
+	arrived int
+	gen     int
+	maxT    memsim.Time
+}
+
+func (b *barrier) wait(w *memsim.Worker) memsim.Time {
+	g := b.gen
+	b.arrived++
+	if w.Now() > b.maxT {
+		b.maxT = w.Now()
+	}
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		return b.maxT
+	}
+	for b.gen == g {
+		w.Spin(60)
+	}
+	return b.maxT
+}
+
+// cycle is the shared state of one young collection.
+type cycle struct {
+	h   *heap.Heap
+	opt Options
+
+	threads int
+	ps      bool // Parallel-Scavenge allocation policy (LABs + direct copies)
+	full    bool // full GC: the collection set covers the old space too
+
+	hm           *HeaderMap // nil when disabled this cycle
+	pushPrefetch bool       // prefetch referents on work-stack push
+
+	promoteAge  int
+	cacheBudget int64
+	cacheUsed   int64
+
+	labWords    int64 // PS: LAB size
+	directWords int64 // PS: objects at least this big bypass LABs
+
+	rootSlots []heap.Address
+	byPhys    map[int]*destRegion
+	allDest   []*destRegion
+	nextFlush int
+
+	// PS shared destinations: LAB refills come from cached shared
+	// regions; direct copies go to uncached shared regions.
+	sharedLAB    [2]*destRegion // indexed by promote
+	sharedDirect [2]*destRegion
+
+	workers []*gcWorker
+	bar     barrier
+	idle    int
+	done    bool // traversal termination detected
+	err     error
+
+	stats CollectionStats
+
+	readMostlyEnd memsim.Time
+	writeOnlyEnd  memsim.Time
+}
+
+func newCycle(h *heap.Heap, opt Options, threads int, hm *HeaderMap, ps bool) *cycle {
+	c := &cycle{
+		h:           h,
+		opt:         opt,
+		threads:     threads,
+		ps:          ps,
+		promoteAge:  opt.promoteAge(),
+		cacheBudget: opt.writeCacheBudget(h.HeapBytes()),
+		byPhys:      make(map[int]*destRegion),
+		labWords:    (4 << 10) / heap.WordBytes,
+		directWords: (1 << 10) / heap.WordBytes,
+	}
+	if opt.HeaderMap && threads >= opt.headerMapMinThreads() {
+		c.hm = hm
+	}
+	// Vanilla G1 already prefetches referents when pushing them (the
+	// paper reuses that strategy); PS has no prefetching unless the
+	// optimization is enabled (Section 4.4).
+	c.pushPrefetch = !ps || opt.Prefetch
+	c.bar.n = threads
+	c.workers = make([]*gcWorker, threads)
+	for i := range c.workers {
+		c.workers[i] = &gcWorker{c: c, id: i}
+	}
+	return c
+}
+
+// prepare builds the root list: external root slots plus every remembered
+// set entry of the collection set. A full GC rediscovers liveness from
+// the external roots alone — remembered sets point into regions that are
+// themselves being evacuated and are rebuilt during the collection.
+func (c *cycle) prepare(cset []*heap.Region) {
+	c.rootSlots = c.rootSlots[:0]
+	c.h.Roots.ForEach(func(slot heap.Address) {
+		c.rootSlots = append(c.rootSlots, slot)
+	})
+	if c.full {
+		return
+	}
+	for _, r := range cset {
+		for _, s := range r.RemSet.Slots() {
+			// Skip slots whose containing region is no longer old space:
+			// the anchoring object was reclaimed by a mixed or full GC
+			// and the memory may have been reused.
+			if sr := c.h.RegionOf(s); sr != nil && sr.Kind != heap.RegionOld {
+				continue
+			}
+			c.rootSlots = append(c.rootSlots, s)
+		}
+	}
+}
+
+func (c *cycle) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// finalAddrOf translates a cache-region address to its mapped NVM address.
+func (c *cycle) finalAddrOf(a heap.Address) heap.Address {
+	r := c.h.RegionOf(a)
+	if r != nil && r.Kind == heap.RegionCache && r.MapTo != nil {
+		return r.MapTo.Start + (a - r.Start)
+	}
+	return a
+}
+
+func (c *cycle) destOf(a heap.Address) *destRegion {
+	r := c.h.RegionOf(a)
+	if r == nil {
+		return nil
+	}
+	return c.byPhys[r.Index]
+}
+
+// newDest claims a fresh destination region of the given final kind,
+// fronting it with a DRAM cache region when the write cache is enabled
+// and within budget. Exhausted budget falls back to direct NVM placement
+// (Section 3.2: "the GC thread stops allocating new cache regions and
+// directly copies objects into NVM").
+func (c *cycle) newDest(w *memsim.Worker, kind heap.RegionKind, cacheable bool) (*destRegion, bool) {
+	final, ok := c.h.ClaimRegion(kind, nil)
+	if !ok {
+		c.fail(fmt.Errorf("gc: heap exhausted while claiming a %v region", kind))
+		return nil, false
+	}
+	w.Advance(250)
+	d := &destRegion{phys: final, final: final, kind: kind}
+	if cacheable && c.opt.WriteCache {
+		rb := c.h.RegionBytes()
+		if c.cacheUsed+rb <= c.cacheBudget {
+			if cr, ok := c.h.ClaimRegion(heap.RegionCache, nil); ok {
+				cr.MapTo = final
+				d.phys = cr
+				c.cacheUsed += rb
+				c.byPhys[cr.Index] = d
+				c.stats.CacheRegionsUsed++
+				w.Advance(150)
+			}
+		}
+	}
+	c.allDest = append(c.allDest, d)
+	return d, true
+}
+
+// retireDest marks a destination full and, in asynchronous mode, flushes
+// it immediately if it is already quiescent.
+func (c *cycle) retireDest(w *memsim.Worker, d *destRegion) {
+	if d == nil {
+		return
+	}
+	d.full = true
+	c.maybeAsyncFlush(w, d)
+}
+
+func (c *cycle) maybeAsyncFlush(w *memsim.Worker, d *destRegion) {
+	if !c.opt.AsyncFlush || !d.cached() || d.flushed {
+		return
+	}
+	if d.full && !d.stolen && d.pending == 0 && d.labHolds == 0 {
+		c.flush(w, d, true)
+	}
+}
+
+// flush writes a cached destination back to its mapped NVM region and
+// recycles the DRAM cache region.
+func (c *cycle) flush(w *memsim.Worker, d *destRegion, async bool) {
+	used := d.phys.UsedBytes()
+	chunk := c.opt.flushChunk()
+	d.final.Top = d.final.Start + heap.Address(used)
+	for off := int64(0); off < used; off += chunk {
+		n := chunk
+		if used-off < n {
+			n = used - off
+		}
+		dst := d.final.Start + heap.Address(off)
+		src := d.phys.Start + heap.Address(off)
+		if c.opt.NonTemporal {
+			c.h.CopyWordsNT(w, dst, src, int64(n)/heap.WordBytes)
+		} else {
+			c.h.CopyWords(w, dst, src, int64(n)/heap.WordBytes)
+		}
+	}
+	d.flushed = true
+	delete(c.byPhys, d.phys.Index)
+	c.h.Retire(d.phys)
+	c.cacheUsed -= c.h.RegionBytes()
+	d.phys = d.final
+	if async {
+		c.stats.RegionsFlushedAsync++
+	} else {
+		c.stats.RegionsFlushedSync++
+	}
+}
+
+func (c *cycle) allStacksEmpty() bool {
+	for _, gw := range c.workers {
+		if !gw.stack.empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// run is the per-worker body of a collection: root scan, copy-and-traverse
+// (read-mostly sub-phase), cache write-back (write-only sub-phase), and
+// header-map clean-up.
+func (c *cycle) run(w *memsim.Worker) {
+	gw := c.workers[w.ID()]
+	gw.w = w
+
+	gw.scanRoots()
+	gw.drainLoop()
+	gw.finishTraversal()
+
+	c.readMostlyEnd = c.bar.wait(w)
+
+	gw.flushPhase()
+	if c.opt.WriteCache && c.opt.NonTemporal {
+		w.Fence()
+	}
+
+	c.writeOnlyEnd = c.bar.wait(w)
+
+	if c.hm != nil {
+		c.hm.ClearStripe(w, gw.id, c.threads)
+	}
+}
+
+// gcWorker is the per-thread evacuation context.
+type gcWorker struct {
+	c  *cycle
+	id int
+	w  *memsim.Worker
+
+	stack workStack
+
+	// G1: one private destination per generation.
+	surv, old *destRegion
+
+	// PS: thread-local allocation buffers per generation.
+	labs [2]labState
+}
+
+// labState is a PS thread-local allocation buffer carved from a shared
+// destination region.
+type labState struct {
+	d       *destRegion
+	phys    heap.Address
+	final   heap.Address
+	physEnd heap.Address
+}
+
+func (l *labState) remaining() int64 {
+	return int64(l.physEnd-l.phys) / heap.WordBytes
+}
+
+// scanRoots pushes this worker's stride of the root list.
+func (gw *gcWorker) scanRoots() {
+	c := gw.c
+	for i := gw.id; i < len(c.rootSlots); i += c.threads {
+		slot := c.rootSlots[i]
+		gw.w.Advance(8) // remembered-set iteration overhead
+		if c.pushPrefetch {
+			gw.w.Prefetch(c.h.DevOf(slot), slot, heap.WordBytes, false)
+		}
+		gw.stack.push(slot)
+	}
+}
+
+// drainLoop processes the work stack, stealing when empty, until global
+// termination.
+func (gw *gcWorker) drainLoop() {
+	c := gw.c
+	for c.err == nil {
+		slot, ok := gw.stack.take(c.opt.BFS)
+		if !ok {
+			slot, ok = gw.trySteal()
+			if !ok {
+				return
+			}
+		}
+		gw.processSlot(slot)
+	}
+}
+
+// trySteal scans other workers' stacks for work; it returns false on
+// global termination. Stolen slots mark their destination region as
+// excluded from asynchronous flushing (Section 4.2).
+func (gw *gcWorker) trySteal() (heap.Address, bool) {
+	c := gw.c
+	c.idle++
+	for c.err == nil && !c.done {
+		for i := 1; i < c.threads; i++ {
+			victim := c.workers[(gw.id+i)%c.threads]
+			if a, ok := victim.stack.steal(); ok {
+				c.idle--
+				c.stats.StolenSlots++
+				if d := c.destOf(a); d != nil && !d.stolen {
+					d.stolen = true
+					c.stats.RegionsStolenFrom++
+				}
+				gw.w.Advance(120)
+				return a, true
+			}
+		}
+		if c.idle >= c.threads && c.allStacksEmpty() {
+			// Every worker is idle and no stack holds work: traversal is
+			// over. Publish termination so the other (still spinning)
+			// workers exit too.
+			c.done = true
+			break
+		}
+		gw.w.Spin(150)
+	}
+	c.idle--
+	return 0, false
+}
+
+// processSlot is one iteration of the paper's four-step loop
+// (Section 3.1): read the slot, evacuate the referent if it lives in the
+// collection set, and update the slot with the referent's new address.
+func (gw *gcWorker) processSlot(slot heap.Address) {
+	c, h, w := gw.c, gw.c.h, gw.w
+
+	ref := h.ReadWord(w, slot) // step 1: fetch the reference (random read)
+	if ref != 0 {
+		if r := h.RegionOf(ref); r != nil && r.InCSet {
+			newAddr := gw.evacuate(ref)
+			if c.err == nil && newAddr != ref {
+				gw.updateSlot(slot, newAddr) // step 4: update (random write)
+			}
+		} else if r != nil && r.Kind == heap.RegionOld {
+			// Non-moving old target: if this slot's final home is a
+			// *different* old region (a freshly promoted copy), record
+			// the old-to-old edge so future mixed collections can
+			// evacuate the target's region.
+			finalSlot := c.finalAddrOf(slot)
+			if fr := h.RegionOf(finalSlot); fr != nil && fr.Kind == heap.RegionOld && fr != r {
+				r.RemSet.Add(finalSlot)
+			}
+		}
+	}
+	c.stats.SlotsProcessed++
+
+	// Async-flush tracking: this slot no longer blocks its region.
+	if d := c.destOf(slot); d != nil {
+		d.pending--
+		c.maybeAsyncFlush(w, d)
+	}
+}
+
+// updateSlot writes the new address and maintains remembered sets: an
+// old-space slot now pointing at a survivor region must be visible to the
+// next young collection.
+func (gw *gcWorker) updateSlot(slot, newAddr heap.Address) {
+	c, h := gw.c, gw.c.h
+	h.WriteWord(gw.w, slot, newAddr)
+	finalSlot := c.finalAddrOf(slot)
+	fr := h.RegionOf(finalSlot)
+	if fr == nil {
+		// Root slot (aux space): always rescanned, no remset needed.
+		return
+	}
+	// Only old-space slots need remembering; survivor regions are
+	// rescanned wholesale as part of the next collection set. Edges into
+	// survivor regions feed the next young GC; edges into other old
+	// regions feed future mixed GCs.
+	if fr.Kind == heap.RegionOld {
+		nr := h.RegionOf(newAddr)
+		if nr != nil && nr != fr && !nr.InCSet &&
+			(nr.Kind == heap.RegionSurvivor || nr.Kind == heap.RegionOld) {
+			nr.RemSet.Add(finalSlot)
+			gw.w.Advance(15)
+		}
+	}
+}
+
+// evacuate returns the (final NVM) address of ref's surviving copy,
+// copying it if this worker wins the forwarding race.
+func (gw *gcWorker) evacuate(ref heap.Address) heap.Address {
+	c, h, w := gw.c, gw.c.h, gw.w
+
+	// Forwarding lookup: DRAM header map first (if enabled), then the
+	// NVM header.
+	if c.hm != nil {
+		if v := c.hm.Get(w, ref); v != 0 {
+			c.stats.HeaderMapHits++
+			return v
+		}
+	}
+	mark := h.ReadWord(w, heap.MarkAddr(ref))
+	if heap.IsForwarded(mark) {
+		return heap.ForwardingAddr(mark)
+	}
+
+	// The info word shares the header cache line with the mark word.
+	info := h.Peek(heap.InfoAddr(ref))
+	k := h.Klasses.ByID(heap.InfoKlassID(info))
+	size := heap.InfoSize(info)
+	if k == nil || size < heap.HeaderWords {
+		c.fail(fmt.Errorf("gc: malformed object at %#x (info %#x)", ref, info))
+		return ref
+	}
+	age := heap.MarkAge(mark)
+	promote := age+1 >= c.promoteAge
+	if h.RegionOf(ref).Kind == heap.RegionOld {
+		// Mixed and full GCs compact old objects into fresh old regions;
+		// they never return to the young generation.
+		promote = true
+	}
+
+	phys, final, ok := gw.allocDst(size, promote)
+	if !ok {
+		if c.err != nil {
+			return ref
+		}
+		// Fall back to the other generation before giving up.
+		phys, final, ok = gw.allocDst(size, !promote)
+		if !ok {
+			c.fail(fmt.Errorf("gc: no space to evacuate %d words", size))
+			return ref
+		}
+		promote = !promote
+	}
+
+	// Step 2: copy the object (sequential read + sequential write), plus
+	// the CPU cost of size checks, klass decoding, barrier bookkeeping
+	// and allocation-cursor updates.
+	w.Advance(110 + size/8)
+	h.CopyWords(w, phys, ref, size)
+	newAge := age + 1
+	if promote {
+		newAge = 0
+	}
+	h.Poke(heap.MarkAddr(phys), heap.MarkWithAge(newAge))
+
+	// Step 3: install the forwarding pointer.
+	winner := gw.installForward(ref, final, mark)
+	if winner != final {
+		gw.retractCopy(phys, size)
+		c.stats.WastedCopies++
+		return winner
+	}
+
+	c.stats.ObjectsCopied++
+	c.stats.BytesCopied += size * heap.WordBytes
+	if promote {
+		c.stats.ObjectsPromoted++
+		c.stats.BytesPromoted += size * heap.WordBytes
+	}
+	if d := c.destOf(phys); d == nil && c.opt.WriteCache {
+		c.stats.CacheFallbackBytes += size * heap.WordBytes
+	}
+
+	gw.pushRefs(phys, k, size)
+	return final
+}
+
+// installForward records old->final, preferring the DRAM header map and
+// falling back to a CAS on the NVM object header. It returns the address
+// that ended up installed (final, or a racing winner's address).
+func (gw *gcWorker) installForward(ref, final heap.Address, oldMark uint64) heap.Address {
+	c, h, w := gw.c, gw.c.h, gw.w
+	if c.hm != nil {
+		if v := c.hm.Put(w, ref, final); v != 0 {
+			if v == final {
+				c.stats.HeaderMapInstalls++
+			}
+			return v
+		}
+		c.stats.HeaderMapFallbacks++
+	}
+	for {
+		cur, ok := h.CASWord(w, heap.MarkAddr(ref), oldMark, heap.ForwardedMark(final))
+		if ok {
+			return final
+		}
+		if heap.IsForwarded(cur) {
+			return heap.ForwardingAddr(cur)
+		}
+		oldMark = cur
+	}
+}
+
+// retractCopy undoes a copy that lost the forwarding race; if later
+// allocation already moved the bump pointer the space is wasted but left
+// as a well-formed unreachable object.
+func (gw *gcWorker) retractCopy(phys heap.Address, size int64) {
+	r := gw.c.h.RegionOf(phys)
+	if r == nil {
+		return
+	}
+	if d := gw.c.destOf(phys); d != nil && d.phys == r {
+		if r.Unalloc(phys, size) {
+			if d.cached() {
+				d.final.Top = d.final.Start + (r.Top - r.Start)
+			}
+			return
+		}
+	} else if r.Unalloc(phys, size) {
+		return
+	}
+	// Space wasted: the full copy remains as a parseable dead object.
+}
+
+// pushRefs pushes the reference slots of a freshly copied object (located
+// at its physical address) onto the work stack, prefetching referents.
+func (gw *gcWorker) pushRefs(phys heap.Address, k *heap.Klass, size int64) {
+	c, h, w := gw.c, gw.c.h, gw.w
+	var pushed int64
+	pushOne := func(off int64) {
+		slot := heap.SlotAddr(phys, off)
+		if c.pushPrefetch {
+			if val := h.Peek(slot); val != 0 {
+				if r := h.RegionOf(val); r != nil && r.InCSet {
+					if c.hm != nil {
+						// With the header map enabled, the forwarding
+						// lookup reads the DRAM map, not the NVM header —
+						// the paper extends the prefetching instructions
+						// accordingly (Section 4.3).
+						c.hm.PrefetchFor(w, val)
+					} else {
+						w.Prefetch(h.DevOf(val), heap.MarkAddr(val), memsim.LineSize, false)
+					}
+				}
+			}
+		}
+		gw.stack.push(slot)
+		w.Advance(4)
+		pushed++
+	}
+	if k.Array {
+		if k.ElemRef {
+			for off := int64(heap.HeaderWords); off < size; off++ {
+				pushOne(off)
+			}
+		}
+	} else {
+		for _, o := range k.RefOffsets {
+			pushOne(int64(o))
+		}
+	}
+	if pushed > 0 {
+		if d := c.destOf(phys); d != nil {
+			d.pending += pushed
+		}
+	}
+}
+
+// allocDst returns space for a copy of the given size in the requested
+// generation, claiming destination regions (G1) or LABs (PS) as needed.
+func (gw *gcWorker) allocDst(size int64, promote bool) (phys, final heap.Address, ok bool) {
+	if gw.c.ps {
+		return gw.allocDstPS(size, promote)
+	}
+	return gw.allocDstG1(size, promote)
+}
+
+func (gw *gcWorker) allocDstG1(size int64, promote bool) (phys, final heap.Address, ok bool) {
+	c := gw.c
+	dp := &gw.surv
+	kind := heap.RegionSurvivor
+	if promote {
+		dp = &gw.old
+		kind = heap.RegionOld
+	}
+	for {
+		if *dp != nil {
+			if p, f, ok := (*dp).alloc(size); ok {
+				return p, f, true
+			}
+			c.retireDest(gw.w, *dp)
+			*dp = nil
+		}
+		d, ok := c.newDest(gw.w, kind, true)
+		if !ok {
+			return 0, 0, false
+		}
+		*dp = d
+	}
+}
+
+// finishTraversal releases the worker's destinations/LABs so the
+// write-only phase sees every region as full.
+func (gw *gcWorker) finishTraversal() {
+	c := gw.c
+	if c.ps {
+		for i := range gw.labs {
+			gw.releaseLAB(&gw.labs[i])
+		}
+		if gw.id == 0 {
+			for _, d := range []*destRegion{c.sharedLAB[0], c.sharedLAB[1], c.sharedDirect[0], c.sharedDirect[1]} {
+				c.retireDest(gw.w, d)
+			}
+		}
+		return
+	}
+	c.retireDest(gw.w, gw.surv)
+	c.retireDest(gw.w, gw.old)
+	gw.surv, gw.old = nil, nil
+}
+
+// flushPhase is the write-only sub-phase: workers drain the list of
+// cached, unflushed destination regions and write them back to NVM.
+func (gw *gcWorker) flushPhase() {
+	c := gw.c
+	for c.err == nil {
+		var d *destRegion
+		for c.nextFlush < len(c.allDest) {
+			cand := c.allDest[c.nextFlush]
+			c.nextFlush++
+			if cand.cached() && !cand.flushed {
+				d = cand
+				break
+			}
+		}
+		if d == nil {
+			return
+		}
+		c.flush(gw.w, d, false)
+	}
+}

@@ -1,0 +1,167 @@
+package gc
+
+import (
+	"fmt"
+
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+)
+
+// headerMapSearchBound is the closed-hashing probe limit: if no free or
+// matching entry is found within this many probes, Put reports the map as
+// full for that key and the caller installs the forwarding pointer in the
+// NVM object header instead (Algorithm 1, lines 11-13). A short bound
+// keeps the worst-case lookup cheap at the price of fallbacks once the
+// map fills — which is exactly the size/performance trade-off Figure 10
+// sweeps.
+const headerMapSearchBound = 8
+
+// HeaderMap is the paper's DRAM-resident, lock-free, closed-hashing map
+// from an evacuated object's old address to its new address. It exists so
+// forwarding pointers need not be written into NVM object headers, which
+// removes a random NVM write (and a matching read) per copied object.
+//
+// The map lives in the heap's DRAM aux area: entry i occupies two words
+// (key, value) at base + 16*i. It follows Algorithm 1 of the paper: keys
+// are claimed with CAS; a claimed-but-unpublished entry makes racing
+// readers spin until the value appears.
+type HeaderMap struct {
+	h       *heap.Heap
+	base    heap.Address
+	mask    uint64
+	entries int
+	used    int64
+}
+
+// NewHeaderMap builds a map bounded by the given DRAM budget (rounded
+// down to a power-of-two entry count).
+func NewHeaderMap(h *heap.Heap, budgetBytes int64) (*HeaderMap, error) {
+	n := 1
+	for int64(n*2)*16 <= budgetBytes {
+		n *= 2
+	}
+	if int64(n)*16 > budgetBytes {
+		return nil, fmt.Errorf("gc: header map budget %d below one entry", budgetBytes)
+	}
+	base, err := h.AllocAux(int64(n) * 16)
+	if err != nil {
+		return nil, fmt.Errorf("gc: header map: %w", err)
+	}
+	return &HeaderMap{h: h, base: base, mask: uint64(n - 1), entries: n}, nil
+}
+
+// Entries returns the map capacity in entries.
+func (hm *HeaderMap) Entries() int { return hm.entries }
+
+// Used returns the number of occupied entries.
+func (hm *HeaderMap) Used() int64 { return hm.used }
+
+// Occupancy returns used/capacity.
+func (hm *HeaderMap) Occupancy() float64 {
+	return float64(hm.used) / float64(hm.entries)
+}
+
+func (hm *HeaderMap) hash(a heap.Address) uint64 {
+	x := a
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x & hm.mask
+}
+
+func (hm *HeaderMap) keyAddr(idx uint64) heap.Address   { return hm.base + idx*16 }
+func (hm *HeaderMap) valueAddr(idx uint64) heap.Address { return hm.base + idx*16 + 8 }
+
+// Put installs old->new. It returns the address now recorded for old
+// (new on success, the racing winner's address otherwise), or 0 when the
+// bounded probe found no slot — the caller must fall back to the NVM
+// header. Put never overwrites an existing entry for old.
+func (hm *HeaderMap) Put(w *memsim.Worker, old, new heap.Address) heap.Address {
+	idx := hm.hash(old)
+	for cnt := 0; cnt < headerMapSearchBound; cnt++ {
+		idx = (idx + 1) & hm.mask
+		probedKey := hm.h.ReadWord(w, hm.keyAddr(idx))
+		if probedKey != old {
+			if probedKey != 0 {
+				continue // occupied by another object
+			}
+			cur, ok := hm.h.CASWord(w, hm.keyAddr(idx), 0, old)
+			if ok {
+				// Claimed: publish the value.
+				hm.h.WriteWord(w, hm.valueAddr(idx), new)
+				hm.used++
+				return new
+			}
+			if cur == old {
+				// Another thread claimed this entry for the same
+				// object; wait for it to publish.
+				return hm.waitValue(w, idx)
+			}
+			continue // lost the slot to a different object
+		}
+		// Entry belongs to old (installed or in flight).
+		return hm.waitValue(w, idx)
+	}
+	return 0
+}
+
+func (hm *HeaderMap) waitValue(w *memsim.Worker, idx uint64) heap.Address {
+	for {
+		if v := hm.h.ReadWord(w, hm.valueAddr(idx)); v != 0 {
+			return v
+		}
+		w.Spin(40)
+	}
+}
+
+// Get returns the new address recorded for old, or 0 if the map holds no
+// entry (the caller must then consult the NVM header). The probe sequence
+// and bound match Put so every entry Put could have used is searched;
+// an empty key terminates early (entries are never deleted during GC).
+func (hm *HeaderMap) Get(w *memsim.Worker, old heap.Address) heap.Address {
+	idx := hm.hash(old)
+	for cnt := 0; cnt < headerMapSearchBound; cnt++ {
+		idx = (idx + 1) & hm.mask
+		probedKey := hm.h.ReadWord(w, hm.keyAddr(idx))
+		if probedKey == 0 {
+			return 0
+		}
+		if probedKey == old {
+			return hm.waitValue(w, idx)
+		}
+	}
+	return 0
+}
+
+// PrefetchFor issues a software prefetch covering the first probe target
+// for old (the paper extends the GC's prefetching to header-map lookups).
+func (hm *HeaderMap) PrefetchFor(w *memsim.Worker, old heap.Address) {
+	idx := (hm.hash(old) + 1) & hm.mask
+	w.Prefetch(hm.h.Machine().DRAM, hm.keyAddr(idx), 16, false)
+}
+
+// ClearStripe zeroes the stripe of entries owned by worker id out of n,
+// charging sequential DRAM writes. All GC threads clear the map in
+// parallel at the end of a collection (Section 3.3).
+func (hm *HeaderMap) ClearStripe(w *memsim.Worker, id, n int) {
+	if n <= 0 {
+		n = 1
+	}
+	per := (hm.entries + n - 1) / n
+	lo := id * per
+	hi := lo + per
+	if hi > hm.entries {
+		hi = hm.entries
+	}
+	if lo >= hi {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		hm.h.Poke(hm.keyAddr(uint64(i)), 0)
+		hm.h.Poke(hm.valueAddr(uint64(i)), 0)
+	}
+	w.Write(hm.h.Machine().DRAM, hm.keyAddr(uint64(lo)), int64(hi-lo)*16, true)
+	if id == 0 {
+		hm.used = 0
+	}
+}

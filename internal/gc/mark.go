@@ -1,0 +1,105 @@
+package gc
+
+import (
+	"sort"
+
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+)
+
+// Liveness is the result of a marking pass: live bytes per region.
+type Liveness struct {
+	LiveBytes map[int]int64
+	Objects   int64
+	Duration  memsim.Time
+}
+
+// LiveFraction returns the live share of a region's used bytes.
+func (lv Liveness) LiveFraction(r *heap.Region) float64 {
+	used := r.UsedBytes()
+	if used == 0 {
+		return 0
+	}
+	return float64(lv.LiveBytes[r.Index]) / float64(used)
+}
+
+// MarkLiveness traverses the reachable graph from the roots and returns
+// per-region live byte counts — the input a mixed collection uses to pick
+// its old-region candidates. In real G1 this marking runs concurrently
+// with the mutators; the simulation executes it as its own machine phase
+// whose duration is reported in Liveness but not counted as GC pause.
+func (b *base) MarkLiveness() Liveness {
+	m := b.h.Machine()
+	lv := Liveness{LiveBytes: make(map[int]int64)}
+	start := m.Now()
+	m.Mark("mark-start")
+	m.Run(1, func(w *memsim.Worker) {
+		h := b.h
+		visited := make(map[heap.Address]bool)
+		var stack []heap.Address
+		visit := func(ref heap.Address) {
+			if ref == 0 || visited[ref] {
+				return
+			}
+			if r := h.RegionOf(ref); r == nil || r.Kind == heap.RegionFree || r.Kind == heap.RegionCache {
+				return
+			}
+			visited[ref] = true
+			stack = append(stack, ref)
+		}
+		h.Roots.ForEach(func(slot heap.Address) {
+			w.Advance(6)
+			visit(h.ReadWord(w, slot))
+		})
+		for len(stack) > 0 {
+			obj := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			w.Read(h.DevOf(obj), heap.MarkAddr(obj), heap.WordBytes, false)
+			k, size := h.PeekObject(obj)
+			if k == nil {
+				continue
+			}
+			if r := h.RegionOf(obj); r != nil {
+				lv.LiveBytes[r.Index] += size * heap.WordBytes
+			}
+			lv.Objects++
+			if k.RefCount(size) > 0 {
+				h.ReadRange(w, obj, size)
+				for off := int64(heap.HeaderWords); off < size; off++ {
+					if k.IsRefSlot(off, size) {
+						visit(h.Peek(heap.SlotAddr(obj, off)))
+					}
+				}
+			}
+			w.Advance(35)
+		}
+	})
+	m.Mark("mark-end")
+	lv.Duration = m.Now() - start
+	return lv
+}
+
+// mixedCandidates returns up to max old regions worth evacuating, sorted
+// by ascending live fraction (garbage-first — the collector's namesake).
+// Regions above the live-fraction threshold are not worth copying.
+func mixedCandidates(h *heap.Heap, lv Liveness, max int, maxLiveFrac float64) []*heap.Region {
+	old := append([]*heap.Region(nil), h.Old()...)
+	sort.Slice(old, func(i, j int) bool {
+		fi, fj := lv.LiveFraction(old[i]), lv.LiveFraction(old[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return old[i].Index < old[j].Index
+	})
+	var out []*heap.Region
+	for _, r := range old {
+		if len(out) >= max {
+			break
+		}
+		if lv.LiveFraction(r) > maxLiveFrac {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}

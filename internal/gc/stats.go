@@ -1,0 +1,78 @@
+package gc
+
+import "nvmgc/internal/memsim"
+
+// CollectionStats records one collection.
+type CollectionStats struct {
+	Full     bool        // full GC (whole-heap collection set)
+	Mixed    bool        // mixed GC (young + selected old regions)
+	MarkTime memsim.Time // marking duration (concurrent in real G1)
+	Pause    memsim.Time // total stop-the-world pause
+
+	ReadMostly memsim.Time // copy-and-traverse sub-phase
+	WriteOnly  memsim.Time // cache write-back sub-phase
+	Cleanup    memsim.Time // header-map clean-up
+
+	SlotsProcessed  int64
+	ObjectsCopied   int64
+	BytesCopied     int64
+	ObjectsPromoted int64
+	BytesPromoted   int64
+	WastedCopies    int64 // copies lost to a forwarding race
+
+	HeaderMapHits      int64 // forwarding found in the DRAM map
+	HeaderMapInstalls  int64
+	HeaderMapFallbacks int64 // map full, forwarded via the NVM header
+
+	CacheRegionsUsed    int64
+	CacheFallbackBytes  int64 // copied straight to NVM after budget exhaustion
+	RegionsFlushedSync  int64
+	RegionsFlushedAsync int64
+	StolenSlots         int64
+	RegionsStolenFrom   int64 // regions excluded from async flushing
+
+	NVM  memsim.DeviceStats // device traffic during the pause
+	DRAM memsim.DeviceStats
+}
+
+// Totals aggregates collections.
+type Totals struct {
+	Collections int
+	Pause       memsim.Time
+	MaxPause    memsim.Time
+	BytesCopied int64
+	NVM         memsim.DeviceStats
+	DRAM        memsim.DeviceStats
+}
+
+// Accumulate folds one collection into the totals.
+func (t *Totals) Accumulate(s CollectionStats) {
+	t.Collections++
+	t.Pause += s.Pause
+	if s.Pause > t.MaxPause {
+		t.MaxPause = s.Pause
+	}
+	t.BytesCopied += s.BytesCopied
+	t.NVM = addStats(t.NVM, s.NVM)
+	t.DRAM = addStats(t.DRAM, s.DRAM)
+}
+
+func addStats(a, b memsim.DeviceStats) memsim.DeviceStats {
+	return memsim.DeviceStats{
+		ReadBytes:      a.ReadBytes + b.ReadBytes,
+		WriteBytes:     a.WriteBytes + b.WriteBytes,
+		WritebackBytes: a.WritebackBytes + b.WritebackBytes,
+		NTBytes:        a.NTBytes + b.NTBytes,
+		ReadOps:        a.ReadOps + b.ReadOps,
+		WriteOps:       a.WriteOps + b.WriteOps,
+	}
+}
+
+// TotalsOf aggregates a slice of collections.
+func TotalsOf(stats []CollectionStats) Totals {
+	var t Totals
+	for _, s := range stats {
+		t.Accumulate(s)
+	}
+	return t
+}

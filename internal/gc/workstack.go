@@ -1,0 +1,55 @@
+package gc
+
+import "nvmgc/internal/heap"
+
+// workStack is a per-GC-thread working stack of reference-slot addresses.
+// The owner pushes and pops at the tail (LIFO, giving the depth-first
+// traversal order copy-based collectors rely on); thieves steal from the
+// head. Under the cooperative scheduler no host synchronization is needed.
+type workStack struct {
+	buf  []heap.Address
+	head int // next steal index
+}
+
+func (s *workStack) push(a heap.Address) { s.buf = append(s.buf, a) }
+
+// pop removes the most recently pushed slot.
+func (s *workStack) pop() (heap.Address, bool) {
+	if s.head >= len(s.buf) {
+		return 0, false
+	}
+	a := s.buf[len(s.buf)-1]
+	s.buf = s.buf[:len(s.buf)-1]
+	if s.head >= len(s.buf) {
+		s.buf = s.buf[:0]
+		s.head = 0
+	}
+	return a, true
+}
+
+// steal removes the oldest slot (the opposite end from pop).
+func (s *workStack) steal() (heap.Address, bool) {
+	if s.head >= len(s.buf) {
+		return 0, false
+	}
+	a := s.buf[s.head]
+	s.head++
+	if s.head >= len(s.buf) {
+		s.buf = s.buf[:0]
+		s.head = 0
+	}
+	return a, true
+}
+
+// take removes the next slot in the configured traversal order: LIFO
+// (depth-first, the default) or FIFO (breadth-first, the paper's
+// Section 4.3 ablation).
+func (s *workStack) take(fifo bool) (heap.Address, bool) {
+	if fifo {
+		return s.steal()
+	}
+	return s.pop()
+}
+
+func (s *workStack) size() int   { return len(s.buf) - s.head }
+func (s *workStack) empty() bool { return s.size() == 0 }

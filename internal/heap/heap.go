@@ -1,0 +1,300 @@
+// Package heap implements a simulated managed (Java-like) heap: a
+// word-addressed address space split into equal-sized regions (as in G1),
+// with bump-pointer allocation, two-word object headers carrying
+// mark/forwarding state, class descriptors with reference maps, remembered
+// sets, and an external root set.
+//
+// All memory accesses that should cost virtual time are routed through a
+// memsim.Worker; uncharged Peek/Poke accessors exist for verification and
+// for bulk operations whose cost the caller accounts separately.
+package heap
+
+import (
+	"fmt"
+
+	"nvmgc/internal/memsim"
+)
+
+// Address is a simulated 64-bit address. Object addresses are 8-byte
+// aligned.
+type Address = uint64
+
+// WordBytes is the size of a heap word.
+const WordBytes = 8
+
+// Config sizes the simulated heap.
+type Config struct {
+	RegionBytes  int64 // region size; must be a power of two multiple of 8
+	HeapRegions  int   // number of Java-heap regions
+	CacheRegions int   // DRAM scratch pool used by the GC write cache
+	AuxBytes     int64 // DRAM area for roots, header map, and metadata
+
+	HeapKind memsim.Kind // device backing the Java heap (NVM in the paper)
+
+	// YoungOnDRAM places the young generation (eden and survivor
+	// regions) on DRAM while the rest of the heap
+	// stays on HeapKind — the paper's "young-gen-dram" comparison point
+	// where spare DRAM serves allocation requests (Section 5.2).
+	YoungOnDRAM bool
+
+	EdenRegions     int // young-generation eden budget
+	SurvivorRegions int // cap on survivor regions per collection
+
+	RootSlots int // capacity of the external root set
+
+	Poison bool // overwrite retired regions with a poison pattern
+}
+
+// DefaultConfig returns a laptop-scale heap: 1024 x 64 KiB regions (64 MiB
+// heap, the paper's 2048-region layout scaled down), a 16 MiB young
+// generation, and a cache pool of 1/8 of the heap (the write cache itself
+// defaults to 1/32; the pool leaves headroom for the unlimited-cache mode).
+func DefaultConfig() Config {
+	return Config{
+		RegionBytes:     64 << 10,
+		HeapRegions:     1024,
+		CacheRegions:    128,
+		AuxBytes:        16 << 20,
+		HeapKind:        memsim.NVM,
+		EdenRegions:     192,
+		SurvivorRegions: 64,
+		RootSlots:       1 << 15,
+	}
+}
+
+// Heap is the simulated managed heap.
+type Heap struct {
+	cfg Config
+	m   *memsim.Machine
+
+	base       Address
+	words      []uint64
+	regionMask uint64
+	regionLog  uint
+
+	heapStart, heapEnd   Address
+	cacheStart, cacheEnd Address
+	auxStart, auxEnd     Address
+	auxTop               Address
+
+	regions   []*Region // heap regions then cache regions
+	freeHeap  []int     // free heap-region indices (LIFO)
+	freeCache []int
+
+	Klasses *KlassTable
+	Roots   *RootSet
+	filler  *Klass
+
+	eden       []*Region // eden regions in allocation order
+	edenCur    *Region
+	survivors  []*Region // survivor regions from the previous collection
+	old        []*Region
+	oldCur     *Region // current old-space allocation region (setup/promotion)
+	allocBytes int64   // cumulative bytes allocated in eden
+}
+
+// New creates a heap on the given machine.
+func New(m *memsim.Machine, cfg Config) (*Heap, error) {
+	if cfg.RegionBytes <= 0 || cfg.RegionBytes%WordBytes != 0 || cfg.RegionBytes&(cfg.RegionBytes-1) != 0 {
+		return nil, fmt.Errorf("heap: region size %d must be a power-of-two multiple of %d", cfg.RegionBytes, WordBytes)
+	}
+	if cfg.HeapRegions <= 0 {
+		return nil, fmt.Errorf("heap: need at least one region")
+	}
+	if cfg.EdenRegions+cfg.SurvivorRegions >= cfg.HeapRegions {
+		return nil, fmt.Errorf("heap: young generation (%d+%d regions) must leave room in %d regions",
+			cfg.EdenRegions, cfg.SurvivorRegions, cfg.HeapRegions)
+	}
+	h := &Heap{cfg: cfg, m: m, base: 1 << 32, Klasses: NewKlassTable()}
+	filler, err := h.Klasses.DefineArray("<filler>", false)
+	if err != nil {
+		return nil, err
+	}
+	h.filler = filler
+	log := uint(0)
+	for 1<<log != cfg.RegionBytes {
+		log++
+	}
+	h.regionLog = log
+	h.regionMask = uint64(cfg.RegionBytes - 1)
+
+	h.heapStart = h.base
+	h.heapEnd = h.heapStart + Address(cfg.HeapRegions)*Address(cfg.RegionBytes)
+	h.cacheStart = h.heapEnd
+	h.cacheEnd = h.cacheStart + Address(cfg.CacheRegions)*Address(cfg.RegionBytes)
+	h.auxStart = h.cacheEnd
+	h.auxEnd = h.auxStart + Address(cfg.AuxBytes)
+	h.auxTop = h.auxStart
+
+	totalWords := (h.auxEnd - h.base) / WordBytes
+	h.words = make([]uint64, totalWords)
+
+	total := cfg.HeapRegions + cfg.CacheRegions
+	h.regions = make([]*Region, total)
+	heapDev := m.Device(cfg.HeapKind)
+	for i := 0; i < total; i++ {
+		start := h.heapStart + Address(i)*Address(cfg.RegionBytes)
+		r := &Region{
+			Index: i,
+			Start: start,
+			End:   start + Address(cfg.RegionBytes),
+			Top:   start,
+			Kind:  RegionFree,
+		}
+		if i < cfg.HeapRegions {
+			r.Dev = heapDev
+			h.freeHeap = append(h.freeHeap, i)
+		} else {
+			r.Dev = m.DRAM
+			r.CachePool = true
+			h.freeCache = append(h.freeCache, i)
+		}
+		h.regions[i] = r
+	}
+	// Pop from the end, so reverse for ascending-first allocation order.
+	reverseInts(h.freeHeap)
+	reverseInts(h.freeCache)
+
+	h.Roots = newRootSet(h, cfg.RootSlots)
+	return h, nil
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Machine returns the machine the heap lives on.
+func (h *Heap) Machine() *memsim.Machine { return h.m }
+
+// Config returns the heap's configuration.
+func (h *Heap) Config() Config { return h.cfg }
+
+// RegionBytes returns the region size in bytes.
+func (h *Heap) RegionBytes() int64 { return h.cfg.RegionBytes }
+
+// HeapBytes returns the Java-heap capacity in bytes.
+func (h *Heap) HeapBytes() int64 {
+	return int64(h.cfg.HeapRegions) * h.cfg.RegionBytes
+}
+
+// AllocatedBytes returns cumulative eden allocation volume.
+func (h *Heap) AllocatedBytes() int64 { return h.allocBytes }
+
+// Contains reports whether addr falls inside the heap or cache pool.
+func (h *Heap) Contains(addr Address) bool {
+	return addr >= h.heapStart && addr < h.cacheEnd
+}
+
+// RegionOf returns the region containing addr, or nil for aux addresses.
+func (h *Heap) RegionOf(addr Address) *Region {
+	if addr < h.heapStart || addr >= h.cacheEnd {
+		return nil
+	}
+	return h.regions[(addr-h.heapStart)>>h.regionLog]
+}
+
+// Regions returns all regions (heap regions first, then the cache pool).
+func (h *Heap) Regions() []*Region { return h.regions }
+
+// InYoung reports whether addr is inside an eden or survivor region.
+func (h *Heap) InYoung(addr Address) bool {
+	r := h.RegionOf(addr)
+	return r != nil && (r.Kind == RegionEden || r.Kind == RegionSurvivor)
+}
+
+// DevOf returns the device backing addr (aux space is DRAM).
+func (h *Heap) DevOf(addr Address) *memsim.Device {
+	if r := h.RegionOf(addr); r != nil {
+		return r.Dev
+	}
+	return h.m.DRAM
+}
+
+func (h *Heap) index(addr Address) int {
+	if addr < h.base || addr >= h.auxEnd {
+		panic(fmt.Sprintf("heap: address %#x out of range", addr))
+	}
+	return int((addr - h.base) / WordBytes)
+}
+
+// Peek reads a word without charging virtual time (verification only).
+func (h *Heap) Peek(addr Address) uint64 { return h.words[h.index(addr)] }
+
+// Poke writes a word without charging virtual time (setup/verification).
+func (h *Heap) Poke(addr Address, v uint64) { h.words[h.index(addr)] = v }
+
+// ReadWord models a random 8-byte load.
+func (h *Heap) ReadWord(w *memsim.Worker, addr Address) uint64 {
+	w.Read(h.DevOf(addr), addr, WordBytes, false)
+	return h.words[h.index(addr)]
+}
+
+// WriteWord models a random 8-byte cached store.
+func (h *Heap) WriteWord(w *memsim.Worker, addr Address, v uint64) {
+	w.Write(h.DevOf(addr), addr, WordBytes, false)
+	h.words[h.index(addr)] = v
+}
+
+// CASWord models an atomic compare-and-swap on a word: it always pays a
+// random read; a successful swap additionally pays a random write.
+//
+// The logical compare-and-swap is applied to the backing store *before*
+// the timing charges: the charge operations yield to the scheduler, so
+// applying the effect first is what makes the operation atomic with
+// respect to other simulated workers.
+func (h *Heap) CASWord(w *memsim.Worker, addr Address, old, new uint64) (uint64, bool) {
+	idx := h.index(addr)
+	cur := h.words[idx]
+	ok := cur == old
+	if ok {
+		h.words[idx] = new
+	}
+	dev := h.DevOf(addr)
+	w.Read(dev, addr, WordBytes, false)
+	if ok {
+		w.Write(dev, addr, WordBytes, false)
+	}
+	return cur, ok
+}
+
+// ReadRange models a sequential read of n words starting at addr.
+func (h *Heap) ReadRange(w *memsim.Worker, addr Address, nWords int64) {
+	w.Read(h.DevOf(addr), addr, nWords*WordBytes, true)
+}
+
+// CopyWords models copying nWords from src to dst: a sequential read of
+// the source plus a sequential cached write of the destination, and moves
+// the backing data.
+func (h *Heap) CopyWords(w *memsim.Worker, dst, src Address, nWords int64) {
+	w.Read(h.DevOf(src), src, nWords*WordBytes, true)
+	w.Write(h.DevOf(dst), dst, nWords*WordBytes, true)
+	copy(h.words[h.index(dst):h.index(dst)+int(nWords)], h.words[h.index(src):h.index(src)+int(nWords)])
+}
+
+// CopyWordsNT is CopyWords with a non-temporal destination stream (used by
+// the write-back sub-phase of the optimized collector).
+func (h *Heap) CopyWordsNT(w *memsim.Worker, dst, src Address, nWords int64) {
+	w.Read(h.DevOf(src), src, nWords*WordBytes, true)
+	w.WriteNT(h.DevOf(dst), dst, nWords*WordBytes)
+	copy(h.words[h.index(dst):h.index(dst)+int(nWords)], h.words[h.index(src):h.index(src)+int(nWords)])
+}
+
+// MoveWordsRaw moves backing data without charging any cost (callers
+// account the traffic themselves).
+func (h *Heap) MoveWordsRaw(dst, src Address, nWords int64) {
+	copy(h.words[h.index(dst):h.index(dst)+int(nWords)], h.words[h.index(src):h.index(src)+int(nWords)])
+}
+
+// AllocAux carves bytes out of the DRAM aux area (header map, metadata).
+// Aux allocations are never freed.
+func (h *Heap) AllocAux(bytes int64) (Address, error) {
+	need := (bytes + WordBytes - 1) / WordBytes * WordBytes
+	if h.auxTop+Address(need) > h.auxEnd {
+		return 0, fmt.Errorf("heap: aux area exhausted (%d bytes requested)", bytes)
+	}
+	a := h.auxTop
+	h.auxTop += Address(need)
+	return a, nil
+}

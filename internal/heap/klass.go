@@ -1,0 +1,115 @@
+package heap
+
+import "fmt"
+
+// Klass describes an object class: which payload words hold references.
+// Instances of non-array classes have a fixed size; arrays carry their
+// size in the object's info word.
+type Klass struct {
+	ID   uint32
+	Name string
+
+	// SizeWords is the instance size (header included) for non-array
+	// classes, 0 for arrays.
+	SizeWords int64
+
+	// RefOffsets lists the word offsets (>= HeaderWords, relative to the
+	// object start) of reference slots for non-array classes.
+	RefOffsets []int32
+
+	// Array marks array classes; ElemRef selects reference arrays
+	// (every payload word is a reference) versus primitive arrays.
+	Array   bool
+	ElemRef bool
+}
+
+// IsRefSlot reports whether word offset off of an object with this klass
+// and total size holds a reference.
+func (k *Klass) IsRefSlot(off int64, sizeWords int64) bool {
+	if off < HeaderWords || off >= sizeWords {
+		return false
+	}
+	if k.Array {
+		return k.ElemRef
+	}
+	for _, o := range k.RefOffsets {
+		if int64(o) == off {
+			return true
+		}
+	}
+	return false
+}
+
+// RefCount returns the number of reference slots in an instance of the
+// given total size.
+func (k *Klass) RefCount(sizeWords int64) int64 {
+	if k.Array {
+		if k.ElemRef {
+			return sizeWords - HeaderWords
+		}
+		return 0
+	}
+	return int64(len(k.RefOffsets))
+}
+
+// KlassTable owns all class descriptors of a heap.
+type KlassTable struct {
+	klasses []*Klass
+	byName  map[string]*Klass
+}
+
+// NewKlassTable creates an empty table. Klass ID 0 is reserved as invalid.
+func NewKlassTable() *KlassTable {
+	return &KlassTable{
+		klasses: []*Klass{nil},
+		byName:  make(map[string]*Klass),
+	}
+}
+
+// Define registers a fixed-size object class. refOffsets are word offsets
+// from the object start and must be >= HeaderWords and < sizeWords.
+func (t *KlassTable) Define(name string, sizeWords int64, refOffsets []int32) (*Klass, error) {
+	if sizeWords < HeaderWords {
+		return nil, fmt.Errorf("heap: klass %q: size %d below header size", name, sizeWords)
+	}
+	if sizeWords%2 != 0 {
+		return nil, fmt.Errorf("heap: klass %q: size %d words must be even", name, sizeWords)
+	}
+	for _, o := range refOffsets {
+		if int64(o) < HeaderWords || int64(o) >= sizeWords {
+			return nil, fmt.Errorf("heap: klass %q: ref offset %d out of range", name, o)
+		}
+	}
+	k := &Klass{Name: name, SizeWords: sizeWords, RefOffsets: append([]int32(nil), refOffsets...)}
+	return k, t.add(k)
+}
+
+// DefineArray registers an array class (elemRef selects reference arrays).
+func (t *KlassTable) DefineArray(name string, elemRef bool) (*Klass, error) {
+	k := &Klass{Name: name, Array: true, ElemRef: elemRef}
+	return k, t.add(k)
+}
+
+func (t *KlassTable) add(k *Klass) error {
+	if _, dup := t.byName[k.Name]; dup {
+		return fmt.Errorf("heap: duplicate klass %q", k.Name)
+	}
+	k.ID = uint32(len(t.klasses))
+	t.klasses = append(t.klasses, k)
+	t.byName[k.Name] = k
+	return nil
+}
+
+// ByID returns the klass with the given id, or nil.
+func (t *KlassTable) ByID(id uint32) *Klass {
+	if id == 0 || int(id) >= len(t.klasses) {
+		return nil
+	}
+	return t.klasses[id]
+}
+
+// ByName returns the klass with the given name, or nil.
+func (t *KlassTable) ByName(name string) *Klass { return t.byName[name] }
+
+// Len returns the number of defined klasses.
+func (t *KlassTable) Len() int { return len(t.klasses) - 1 }

@@ -1,0 +1,296 @@
+package heap
+
+import (
+	"fmt"
+
+	"nvmgc/internal/memsim"
+)
+
+// RegionKind classifies a region's current role.
+type RegionKind uint8
+
+const (
+	// RegionFree is an unused region.
+	RegionFree RegionKind = iota
+	// RegionEden serves mutator allocation.
+	RegionEden
+	// RegionSurvivor holds objects evacuated by the last young GC.
+	RegionSurvivor
+	// RegionOld holds tenured objects.
+	RegionOld
+	// RegionCache is a DRAM write-cache region mapped to an NVM region.
+	RegionCache
+)
+
+// String returns the region kind's name.
+func (k RegionKind) String() string {
+	switch k {
+	case RegionFree:
+		return "free"
+	case RegionEden:
+		return "eden"
+	case RegionSurvivor:
+		return "survivor"
+	case RegionOld:
+		return "old"
+	case RegionCache:
+		return "cache"
+	default:
+		return fmt.Sprintf("RegionKind(%d)", uint8(k))
+	}
+}
+
+// Region is the basic memory-management unit, as in G1.
+type Region struct {
+	Index int
+	Kind  RegionKind
+	Dev   *memsim.Device
+
+	Start, End Address
+	Top        Address // bump pointer
+
+	// CachePool marks regions belonging to the DRAM scratch pool.
+	CachePool bool
+
+	// InCSet marks regions in the current collection set (set by
+	// BeginCollection, cleared when the region is retired).
+	InCSet bool
+
+	// MapTo is the NVM region a cache region will be flushed into
+	// (the write cache's region mapping).
+	MapTo *Region
+
+	// RemSet records external reference slots pointing into this region.
+	RemSet RemSet
+}
+
+// Bytes returns the region capacity in bytes.
+func (r *Region) Bytes() int64 { return int64(r.End - r.Start) }
+
+// UsedBytes returns the bytes consumed by the bump pointer.
+func (r *Region) UsedBytes() int64 { return int64(r.Top - r.Start) }
+
+// Free returns the bytes remaining.
+func (r *Region) Free() int64 { return int64(r.End - r.Top) }
+
+// Alloc bumps the region pointer by nWords words. It returns the address
+// and true on success, or 0 and false if the region is full. Alloc itself
+// charges no virtual time; callers account initialization/copy traffic.
+func (r *Region) Alloc(nWords int64) (Address, bool) {
+	need := Address(nWords * WordBytes)
+	if r.Top+need > r.End {
+		return 0, false
+	}
+	a := r.Top
+	r.Top += need
+	return a, true
+}
+
+// Unalloc retracts the most recent allocation if no later allocation has
+// happened (used when a racing GC thread loses the forwarding CAS).
+// It reports whether the retraction succeeded.
+func (r *Region) Unalloc(addr Address, nWords int64) bool {
+	if r.Top == addr+Address(nWords*WordBytes) {
+		r.Top = addr
+		return true
+	}
+	return false
+}
+
+// reset returns the region to its pristine free state.
+func (r *Region) reset() {
+	r.Kind = RegionFree
+	r.Top = r.Start
+	r.MapTo = nil
+	r.InCSet = false
+	r.RemSet.Clear()
+}
+
+// RemSet is a region's remembered set: addresses of reference slots that
+// live outside the young generation (old-space fields or root slots) and
+// point into this region. Duplicates are allowed; the collector tolerates
+// re-processing thanks to forwarding pointers.
+type RemSet struct {
+	slots []Address
+}
+
+// Add records a slot address.
+func (rs *RemSet) Add(slot Address) { rs.slots = append(rs.slots, slot) }
+
+// Len returns the number of recorded slots.
+func (rs *RemSet) Len() int { return len(rs.slots) }
+
+// Slots returns the recorded slot addresses (shared backing; read-only).
+func (rs *RemSet) Slots() []Address { return rs.slots }
+
+// Clear drops all recorded slots.
+func (rs *RemSet) Clear() { rs.slots = rs.slots[:0] }
+
+// ClaimRegion takes a region from the free pool and assigns it a role.
+// For RegionCache it draws from the DRAM cache pool; every other kind
+// draws from the heap pool and is placed on dev (pass nil for the heap's
+// configured device).
+func (h *Heap) ClaimRegion(kind RegionKind, dev *memsim.Device) (*Region, bool) {
+	var pool *[]int
+	if kind == RegionCache {
+		pool = &h.freeCache
+	} else {
+		pool = &h.freeHeap
+	}
+	n := len(*pool)
+	if n == 0 {
+		return nil, false
+	}
+	idx := (*pool)[n-1]
+	*pool = (*pool)[:n-1]
+	r := h.regions[idx]
+	r.Kind = kind
+	switch {
+	case kind == RegionCache:
+		r.Dev = h.m.DRAM
+	case dev != nil:
+		r.Dev = dev
+	case (kind == RegionEden || kind == RegionSurvivor) && h.cfg.YoungOnDRAM:
+		r.Dev = h.m.DRAM
+	default:
+		r.Dev = h.m.Device(h.cfg.HeapKind)
+	}
+	switch kind {
+	case RegionEden:
+		h.eden = append(h.eden, r)
+	case RegionSurvivor:
+		h.survivors = append(h.survivors, r)
+	case RegionOld:
+		h.old = append(h.old, r)
+	}
+	return r, true
+}
+
+// Retire returns a region to its free pool and clears its state.
+func (h *Heap) Retire(r *Region) {
+	if h.cfg.Poison {
+		lo, hi := h.index(r.Start), h.index(r.End)
+		for i := lo; i < hi; i++ {
+			h.words[i] = 0xDEAD_DEAD_DEAD_DEAD
+		}
+	}
+	r.reset()
+	if r.CachePool {
+		h.freeCache = append(h.freeCache, r.Index)
+	} else {
+		h.freeHeap = append(h.freeHeap, r.Index)
+	}
+}
+
+// FreeHeapRegions returns the number of free Java-heap regions.
+func (h *Heap) FreeHeapRegions() int { return len(h.freeHeap) }
+
+// FreeCacheRegions returns the number of free DRAM cache-pool regions.
+func (h *Heap) FreeCacheRegions() int { return len(h.freeCache) }
+
+// Eden returns the current eden regions in allocation order.
+func (h *Heap) Eden() []*Region { return h.eden }
+
+// Survivors returns the survivor regions of the previous collection.
+func (h *Heap) Survivors() []*Region { return h.survivors }
+
+// Old returns the old-space regions.
+func (h *Heap) Old() []*Region { return h.old }
+
+// YoungRegions returns eden plus survivors (the collection set of a young
+// GC).
+func (h *Heap) YoungRegions() []*Region {
+	out := make([]*Region, 0, len(h.eden)+len(h.survivors))
+	out = append(out, h.eden...)
+	out = append(out, h.survivors...)
+	return out
+}
+
+// BeginCollection detaches the current young generation (eden + survivor
+// lists) as the collection set and resets the heap's young lists so the
+// collector can register fresh survivor regions.
+func (h *Heap) BeginCollection() []*Region {
+	cset := h.YoungRegions()
+	for _, r := range cset {
+		r.InCSet = true
+	}
+	h.eden = nil
+	h.edenCur = nil
+	h.survivors = nil
+	return cset
+}
+
+// BeginFullCollection detaches the whole heap — young generation plus
+// old space — as the collection set of a full GC. Remembered sets become
+// irrelevant (everything is rediscovered from the roots) and are cleared
+// with the regions.
+func (h *Heap) BeginFullCollection() []*Region {
+	cset := h.YoungRegions()
+	cset = append(cset, h.old...)
+	for _, r := range cset {
+		r.InCSet = true
+	}
+	h.eden = nil
+	h.edenCur = nil
+	h.survivors = nil
+	h.old = nil
+	h.oldCur = nil
+	return cset
+}
+
+// BeginMixedCollection detaches the young generation plus the given old
+// regions as the collection set of a mixed GC.
+func (h *Heap) BeginMixedCollection(oldRegions []*Region) []*Region {
+	cset := h.BeginCollection()
+	if len(oldRegions) == 0 {
+		return cset
+	}
+	inCset := make(map[int]bool, len(oldRegions))
+	for _, r := range oldRegions {
+		if r.Kind != RegionOld {
+			continue
+		}
+		r.InCSet = true
+		inCset[r.Index] = true
+		cset = append(cset, r)
+	}
+	kept := h.old[:0]
+	for _, r := range h.old {
+		if !inCset[r.Index] {
+			kept = append(kept, r)
+		}
+	}
+	h.old = kept
+	h.oldCur = nil
+	return cset
+}
+
+// FinishCollection retires the collection-set regions.
+func (h *Heap) FinishCollection(cset []*Region) {
+	for _, r := range cset {
+		h.Retire(r)
+	}
+}
+
+// ScrubRemSets drops remembered-set entries whose slots no longer lie in
+// old-generation regions — they reference memory reclaimed by a mixed or
+// full collection and would otherwise be read as garbage later. Called
+// after collections that retire old regions.
+func (h *Heap) ScrubRemSets() {
+	for _, r := range h.regions {
+		if r.RemSet.Len() == 0 {
+			continue
+		}
+		slots := r.RemSet.slots
+		kept := slots[:0]
+		for _, s := range slots {
+			sr := h.RegionOf(s)
+			if sr == nil || sr.Kind == RegionOld {
+				// Root-area slots (outside the heap) and old-space slots
+				// stay; everything else is stale.
+				kept = append(kept, s)
+			}
+		}
+		r.RemSet.slots = kept
+	}
+}

@@ -1,0 +1,143 @@
+package heap
+
+import "fmt"
+
+// GraphSignature is an address-independent summary of the reachable object
+// graph, used to verify that a collection preserved the graph exactly.
+type GraphSignature struct {
+	Count int64  // reachable objects
+	Bytes int64  // reachable bytes
+	Hash  uint64 // structural hash (klass, sizes, shape, primitive payload)
+}
+
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x100000001b3
+	h ^= h >> 29
+	return h
+}
+
+// Signature traverses the reachable graph from the root set (depth-first,
+// deterministic order) and returns its signature. Traversal is uncharged.
+func (h *Heap) Signature() GraphSignature {
+	ids := make(map[Address]int64)
+	var order []Address
+	var stack []Address
+
+	push := func(ref Address) int64 {
+		if id, ok := ids[ref]; ok {
+			return id
+		}
+		id := int64(len(order))
+		ids[ref] = id
+		order = append(order, ref)
+		stack = append(stack, ref)
+		return id
+	}
+
+	sig := GraphSignature{Hash: 0xcbf29ce484222325}
+	h.Roots.ForEach(func(slot Address) {
+		ref := h.Peek(slot)
+		if ref != 0 {
+			sig.Hash = mix(sig.Hash, uint64(push(ref)))
+		}
+	})
+
+	for len(stack) > 0 {
+		obj := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		k, size := h.PeekObject(obj)
+		if k == nil {
+			// Broken reference: fold a sentinel into the hash so tests
+			// fail loudly.
+			sig.Hash = mix(sig.Hash, 0xBAD0BAD0BAD0BAD0)
+			continue
+		}
+		sig.Count++
+		sig.Bytes += size * WordBytes
+		sig.Hash = mix(sig.Hash, uint64(k.ID))
+		sig.Hash = mix(sig.Hash, uint64(size))
+		for off := int64(HeaderWords); off < size; off++ {
+			v := h.Peek(SlotAddr(obj, off))
+			if k.IsRefSlot(off, size) {
+				if v == 0 {
+					sig.Hash = mix(sig.Hash, 0)
+				} else {
+					sig.Hash = mix(sig.Hash, uint64(push(v))+1)
+				}
+			} else {
+				sig.Hash = mix(sig.Hash, v)
+			}
+		}
+	}
+	return sig
+}
+
+// CheckInvariants validates heap consistency: bump pointers in bounds,
+// regions parse into well-formed objects, and every reachable reference
+// points at a live object start outside free and cache regions. It
+// returns the first violation found.
+func (h *Heap) CheckInvariants() error {
+	starts := make(map[Address]bool)
+	for _, r := range h.regions {
+		if r.Top < r.Start || r.Top > r.End {
+			return fmt.Errorf("region %d: bump pointer out of bounds", r.Index)
+		}
+		if r.Kind == RegionFree || r.Kind == RegionCache {
+			continue
+		}
+		for a := r.Start; a < r.Top; {
+			k, size := h.PeekObject(a)
+			if k == nil {
+				return fmt.Errorf("region %d (%v): malformed object at %#x", r.Index, r.Kind, a)
+			}
+			starts[a] = true
+			a += Address(size) * WordBytes
+		}
+	}
+
+	var err error
+	seen := make(map[Address]bool)
+	var stack []Address
+	visit := func(ref Address, from string) {
+		if ref == 0 || err != nil {
+			return
+		}
+		r := h.RegionOf(ref)
+		if r == nil || r.Kind == RegionFree || r.Kind == RegionCache {
+			err = fmt.Errorf("%s: reference %#x points into %v space", from, ref, kindName(r))
+			return
+		}
+		if !starts[ref] {
+			err = fmt.Errorf("%s: reference %#x is not an object start", from, ref)
+			return
+		}
+		if !seen[ref] {
+			seen[ref] = true
+			stack = append(stack, ref)
+		}
+	}
+	h.Roots.ForEach(func(slot Address) { visit(h.Peek(slot), "root") })
+	for err == nil && len(stack) > 0 {
+		obj := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		k, size := h.PeekObject(obj)
+		if mark := h.Peek(MarkAddr(obj)); IsForwarded(mark) {
+			err = fmt.Errorf("live object %#x still carries a forwarding pointer", obj)
+			break
+		}
+		for off := int64(HeaderWords); off < size; off++ {
+			if k.IsRefSlot(off, size) {
+				visit(h.Peek(SlotAddr(obj, off)), fmt.Sprintf("object %#x slot %d", obj, off))
+			}
+		}
+	}
+	return err
+}
+
+func kindName(r *Region) RegionKind {
+	if r == nil {
+		return RegionFree
+	}
+	return r.Kind
+}

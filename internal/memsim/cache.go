@@ -1,0 +1,270 @@
+package memsim
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+type cacheLine struct {
+	dev      *Device
+	tag      uint64 // line address (addr &^ (LineSize-1))
+	dirty    bool
+	seqDirty bool // dirtied by a streaming store: eviction coalesces
+	valid    bool
+	readyAt  Time // when an in-flight (prefetched) line becomes usable
+	lastUse  Time
+}
+
+// prefetchBufferSize is the number of in-flight software-prefetched lines
+// staged outside the cache proper (prefetches fill a dedicated buffer, as
+// on real hardware, so speculation does not evict demand-fetched data).
+const prefetchBufferSize = 128
+
+type prefetchEntry struct {
+	dev     *Device
+	tag     uint64
+	readyAt Time
+	valid   bool
+}
+
+// Cache is a shared, set-associative, write-allocate/write-back last-level
+// cache model sitting in front of all devices. Dirty evictions generate
+// asynchronous device writes (charged to the device channel only).
+// Non-temporal stores bypass and invalidate. Software prefetches land in
+// a small FIFO staging buffer; a demand access promotes the line into the
+// cache and pays only the remaining transfer time.
+type Cache struct {
+	assoc      int
+	numSets    int
+	setMask    uint64
+	lines      []cacheLine // numSets * assoc
+	hitLatency Time
+
+	pbuf     [prefetchBufferSize]prefetchEntry
+	pbufNext int
+
+	hits       int64
+	misses     int64
+	writebacks int64
+	promoted   int64 // prefetch-buffer hits promoted into the cache
+}
+
+// NewCache creates a cache with the given capacity in bytes and
+// associativity. The number of sets is rounded down to a power of two; a
+// capacity smaller than one set still yields a single set.
+func NewCache(capacity int64, assoc int, hitLatency Time) *Cache {
+	if assoc < 1 {
+		assoc = 1
+	}
+	sets := capacity / (LineSize * int64(assoc))
+	n := 1
+	for int64(n*2) <= sets {
+		n *= 2
+	}
+	return &Cache{
+		assoc:      assoc,
+		numSets:    n,
+		setMask:    uint64(n - 1),
+		lines:      make([]cacheLine, n*assoc),
+		hitLatency: hitLatency,
+	}
+}
+
+// CapacityBytes returns the modeled cache capacity.
+func (c *Cache) CapacityBytes() int64 {
+	return int64(c.numSets) * int64(c.assoc) * LineSize
+}
+
+// CacheStats is a snapshot of hit/miss counters.
+type CacheStats struct {
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+	// PrefetchPromotions counts demand accesses satisfied from the
+	// prefetch staging buffer.
+	PrefetchPromotions int64
+}
+
+// Stats returns a snapshot of cumulative hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits, Misses: c.misses, Writebacks: c.writebacks, PrefetchPromotions: c.promoted}
+}
+
+// pbufTake removes and returns the prefetch-buffer entry for a line.
+func (c *Cache) pbufTake(dev *Device, lineAddr uint64) (Time, bool) {
+	for i := range c.pbuf {
+		e := &c.pbuf[i]
+		if e.valid && e.dev == dev && e.tag == lineAddr {
+			e.valid = false
+			return e.readyAt, true
+		}
+	}
+	return 0, false
+}
+
+func (c *Cache) pbufContains(dev *Device, lineAddr uint64) bool {
+	for i := range c.pbuf {
+		e := &c.pbuf[i]
+		if e.valid && e.dev == dev && e.tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) set(lineAddr uint64) []cacheLine {
+	s := int((lineAddr / LineSize) & c.setMask)
+	return c.lines[s*c.assoc : (s+1)*c.assoc]
+}
+
+// touchLine probes one line. On a miss it allocates the line (evicting LRU
+// and issuing the writeback if dirty). It reports whether the access hit
+// and the time the line becomes ready (for prefetched in-flight lines).
+// seq marks streaming accesses: lines dirtied by a stream write back as
+// sequential traffic (memory-controller write combining), while randomly
+// dirtied lines pay the device's random-access amplification on eviction.
+func (c *Cache) touchLine(dev *Device, lineAddr uint64, now Time, write, seq bool) (hit bool, ready Time) {
+	set := c.set(lineAddr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.dev == dev && l.tag == lineAddr {
+			l.lastUse = now
+			if write {
+				l.dirty = true
+				l.seqDirty = seq
+			}
+			c.hits++
+			return true, l.readyAt
+		}
+	}
+	// Prefetch staging buffer: promote the line into the cache; the
+	// caller pays only the remaining transfer time.
+	if readyAt, ok := c.pbufTake(dev, lineAddr); ok {
+		c.promoted++
+		c.hits++
+		c.install(dev, lineAddr, now, write, seq, readyAt)
+		return true, readyAt
+	}
+	c.misses++
+	c.install(dev, lineAddr, now, write, seq, 0)
+	return false, 0
+}
+
+// install places a line into its set, evicting the LRU way (with
+// writeback if dirty).
+func (c *Cache) install(dev *Device, lineAddr uint64, now Time, write, seq bool, readyAt Time) {
+	set := c.set(lineAddr)
+	victim := &set[0]
+	for i := range set {
+		l := &set[i]
+		if !l.valid {
+			victim = l
+			break
+		}
+		if l.lastUse < victim.lastUse {
+			victim = l
+		}
+	}
+	if victim.valid && victim.dirty {
+		c.writebacks++
+		victim.dev.access(now, opWrite, LineSize, victim.seqDirty)
+	}
+	*victim = cacheLine{dev: dev, tag: lineAddr, dirty: write, seqDirty: write && seq, valid: true, lastUse: now, readyAt: readyAt}
+}
+
+// touchRange probes every line spanned by [addr, addr+n) and returns the
+// number of missing lines plus the latest ready time among hit lines.
+func (c *Cache) touchRange(dev *Device, addr uint64, n int64, now Time, write, seq bool) (missLines int, ready Time) {
+	if n <= 0 {
+		return 0, 0
+	}
+	first := addr &^ (LineSize - 1)
+	last := (addr + uint64(n) - 1) &^ (LineSize - 1)
+	for la := first; ; la += LineSize {
+		hit, r := c.touchLine(dev, la, now, write, seq)
+		if !hit {
+			missLines++
+		} else if r > ready {
+			ready = r
+		}
+		if la == last {
+			break
+		}
+	}
+	return missLines, ready
+}
+
+// installPrefetch stages all missing lines of the range in the prefetch
+// buffer, available at readyAt. Lines already cached or staged are left
+// alone. Staged lines are clean, so buffer overwrites are silent.
+func (c *Cache) installPrefetch(dev *Device, addr uint64, n int64, now, readyAt Time) {
+	if n <= 0 {
+		return
+	}
+	first := addr &^ (LineSize - 1)
+	last := (addr + uint64(n) - 1) &^ (LineSize - 1)
+	for la := first; ; la += LineSize {
+		if !c.present(dev, la) && !c.pbufContains(dev, la) {
+			c.pbuf[c.pbufNext] = prefetchEntry{dev: dev, tag: la, readyAt: readyAt, valid: true}
+			c.pbufNext = (c.pbufNext + 1) % prefetchBufferSize
+		}
+		if la == last {
+			break
+		}
+	}
+}
+
+func (c *Cache) present(dev *Device, lineAddr uint64) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.dev == dev && l.tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// missingLines counts lines of the range absent from both the cache and
+// the prefetch buffer without modifying state (used to size prefetch
+// transfers).
+func (c *Cache) missingLines(dev *Device, addr uint64, n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	first := addr &^ (LineSize - 1)
+	last := (addr + uint64(n) - 1) &^ (LineSize - 1)
+	miss := 0
+	for la := first; ; la += LineSize {
+		if !c.present(dev, la) && !c.pbufContains(dev, la) {
+			miss++
+		}
+		if la == last {
+			break
+		}
+	}
+	return miss
+}
+
+// invalidateRange drops all lines of the range without writeback (used by
+// non-temporal stores, which overwrite memory directly).
+func (c *Cache) invalidateRange(dev *Device, addr uint64, n int64) {
+	if n <= 0 {
+		return
+	}
+	first := addr &^ (LineSize - 1)
+	last := (addr + uint64(n) - 1) &^ (LineSize - 1)
+	for la := first; ; la += LineSize {
+		set := c.set(la)
+		for i := range set {
+			l := &set[i]
+			if l.valid && l.dev == dev && l.tag == la {
+				l.valid = false
+				l.dirty = false
+				break
+			}
+		}
+		c.pbufTake(dev, la)
+		if la == last {
+			break
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package memsim provides a deterministic discrete-event simulation of a
+// hybrid DRAM/NVM memory subsystem, used as the substrate for the NVM-aware
+// garbage collector reproduction.
+//
+// All costs are expressed in virtual nanoseconds (Time). Parallel phases
+// (such as a stop-the-world GC with N threads) run one goroutine per
+// simulated worker under a cooperative scheduler that always resumes the
+// worker with the smallest virtual clock, so exactly one worker executes at
+// any instant and the simulation is fully deterministic.
+//
+// The device model captures the NVM properties the paper identifies as the
+// root cause of copy-based GC slowdown:
+//
+//   - higher access latency than DRAM (2-3x),
+//   - asymmetric peak bandwidth (read >> write),
+//   - total bandwidth that collapses as the write fraction of the recent
+//     traffic mix rises,
+//   - a 256-byte internal access granularity that amplifies small random
+//     accesses, and
+//   - a non-temporal store path with higher sequential write bandwidth that
+//     bypasses the cache hierarchy.
+//
+// A shared set-associative last-level cache with write-allocate/write-back
+// semantics sits in front of both devices; software prefetches install
+// lines with a future ready time so demand accesses pay only the remaining
+// latency.
+package memsim

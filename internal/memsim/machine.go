@@ -1,0 +1,162 @@
+package memsim
+
+import "container/heap"
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	DRAM Profile
+	NVM  Profile
+
+	LLCBytes      int64 // last-level cache capacity
+	LLCAssoc      int
+	LLCHitLatency Time
+
+	TraceBucket Time // bandwidth trace bucket width; 0 disables tracing
+}
+
+// DefaultConfig returns the calibrated default machine: server DRAM, six
+// interleaved Optane DIMMs, and a scaled-down shared LLC (the heap is
+// scaled down from the paper's 16 GB by the same factor).
+func DefaultConfig() Config {
+	return Config{
+		DRAM:          DRAMProfile(),
+		NVM:           OptaneProfile(),
+		LLCBytes:      1 << 20,
+		LLCAssoc:      16,
+		LLCHitLatency: 15,
+		TraceBucket:   250 * Microsecond,
+	}
+}
+
+// PhaseMark labels a point in virtual time (e.g. GC start/end), used to
+// demarcate GC intervals on bandwidth plots.
+type PhaseMark struct {
+	T     Time
+	Label string
+}
+
+// Machine is a simulated host: two memory devices behind a shared LLC and
+// a virtual clock. Parallel phases are executed with Run.
+type Machine struct {
+	DRAM *Device
+	NVM  *Device
+	LLC  *Cache
+
+	now   Time
+	marks []PhaseMark
+}
+
+// NewMachine builds a machine from the config.
+func NewMachine(cfg Config) *Machine {
+	return &Machine{
+		DRAM: NewDevice("dram", cfg.DRAM, cfg.TraceBucket),
+		NVM:  NewDevice("nvm", cfg.NVM, cfg.TraceBucket),
+		LLC:  NewCache(cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCHitLatency),
+	}
+}
+
+// Now returns the machine's virtual clock (the end of the last phase).
+func (m *Machine) Now() Time { return m.now }
+
+// Mark records a labeled point at the current virtual time.
+func (m *Machine) Mark(label string) {
+	m.marks = append(m.marks, PhaseMark{T: m.now, Label: label})
+}
+
+// Marks returns all recorded phase marks in order.
+func (m *Machine) Marks() []PhaseMark { return m.marks }
+
+// Device returns the device of the given kind.
+func (m *Machine) Device(k Kind) *Device {
+	if k == DRAM {
+		return m.DRAM
+	}
+	return m.NVM
+}
+
+// Run executes a phase with n simulated workers, all starting at the
+// current virtual clock. It returns the phase's elapsed virtual time (the
+// latest worker finish) and advances the machine clock to the phase end.
+//
+// With n > 1 the workers run as goroutine coroutines under a
+// min-virtual-time-first scheduler: exactly one worker executes at a time,
+// and device operations are globally ordered by issue time, so the
+// simulation is deterministic. Worker bodies must not block on anything
+// other than the scheduler (use Worker.Spin in busy-wait loops).
+func (m *Machine) Run(n int, body func(*Worker)) Time {
+	start := m.now
+	if n <= 1 {
+		w := &Worker{id: 0, now: start, m: m}
+		body(w)
+		if w.now > m.now {
+			m.now = w.now
+		}
+		return m.now - start
+	}
+
+	s := &scheduler{control: make(chan schedEvent)}
+	q := make(workerQueue, 0, n)
+	for i := 0; i < n; i++ {
+		w := &Worker{id: i, now: start, m: m, sched: s, resume: make(chan struct{})}
+		go func(w *Worker) {
+			<-w.resume
+			body(w)
+			s.control <- schedEvent{w: w, done: true}
+		}(w)
+		q = append(q, w)
+	}
+	heap.Init(&q)
+
+	end := start
+	running := n
+	for running > 0 {
+		w := heap.Pop(&q).(*Worker)
+		w.resume <- struct{}{}
+		ev := <-s.control
+		if ev.done {
+			running--
+			if ev.w.now > end {
+				end = ev.w.now
+			}
+		} else {
+			heap.Push(&q, ev.w)
+		}
+	}
+	if end > m.now {
+		m.now = end
+	}
+	return m.now - start
+}
+
+type schedEvent struct {
+	w    *Worker
+	done bool
+}
+
+type scheduler struct {
+	control chan schedEvent
+}
+
+// workerQueue is a min-heap of workers ordered by virtual time, ties broken
+// by worker id for determinism.
+type workerQueue []*Worker
+
+func (q workerQueue) Len() int { return len(q) }
+func (q workerQueue) Less(i, j int) bool {
+	if q[i].now != q[j].now {
+		return q[i].now < q[j].now
+	}
+	return q[i].id < q[j].id
+}
+func (q workerQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *workerQueue) Push(x any) { *q = append(*q, x.(*Worker)) }
+
+func (q *workerQueue) Pop() any {
+	old := *q
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return w
+}

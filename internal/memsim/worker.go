@@ -1,0 +1,135 @@
+package memsim
+
+// Worker is one simulated hardware thread inside a phase. All memory
+// operations advance the worker's virtual clock; under a parallel phase
+// the worker yields to the scheduler before each device-visible operation
+// so that device queueing is processed in global time order.
+type Worker struct {
+	id     int
+	now    Time
+	m      *Machine
+	sched  *scheduler
+	resume chan struct{}
+}
+
+// ID returns the worker's index within its phase.
+func (w *Worker) ID() int { return w.id }
+
+// Now returns the worker's virtual clock.
+func (w *Worker) Now() Time { return w.now }
+
+// Machine returns the machine the worker runs on.
+func (w *Worker) Machine() *Machine { return w.m }
+
+func (w *Worker) yield() {
+	if w.sched == nil {
+		return
+	}
+	w.sched.control <- schedEvent{w: w, done: false}
+	<-w.resume
+}
+
+// Advance models CPU-only work of duration d (no scheduler yield; yields
+// happen at memory operations, which dominate GC time).
+func (w *Worker) Advance(d Time) {
+	if d > 0 {
+		w.now += d
+	}
+}
+
+// Spin models one iteration of a busy-wait loop: it advances time by d and
+// yields so that other workers can make the awaited progress. Busy-wait
+// loops in worker bodies must call Spin or the simulation livelocks.
+func (w *Worker) Spin(d Time) {
+	if d < 1 {
+		d = 1
+	}
+	w.now += d
+	w.yield()
+}
+
+// Read models a load of n bytes at addr from dev, through the LLC.
+// seq marks the access as part of a sequential stream (no random-access
+// amplification at the device).
+func (w *Worker) Read(dev *Device, addr uint64, n int64, seq bool) {
+	if n <= 0 {
+		return
+	}
+	w.yield()
+	c := w.m.LLC
+	missLines, ready := c.touchRange(dev, addr, n, w.now, false, seq)
+	cost := c.hitLatency
+	if missLines > 0 {
+		complete := dev.access(w.now, opRead, int64(missLines)*LineSize, seq)
+		if complete-w.now > cost {
+			cost = complete - w.now
+		}
+	}
+	if ready > w.now+cost {
+		cost = ready - w.now
+	}
+	w.now += cost
+}
+
+// Write models a cached store of n bytes at addr. Missing lines are
+// fetched first (read-for-ownership, synchronous device reads); the dirty
+// data reaches the device later via asynchronous cache writebacks. This is
+// why cached stores still consume NVM *read* bandwidth and why their write
+// traffic is random at eviction time.
+func (w *Worker) Write(dev *Device, addr uint64, n int64, seq bool) {
+	if n <= 0 {
+		return
+	}
+	w.yield()
+	c := w.m.LLC
+	missLines, ready := c.touchRange(dev, addr, n, w.now, true, seq)
+	cost := c.hitLatency
+	if missLines > 0 {
+		complete := dev.access(w.now, opRead, int64(missLines)*LineSize, seq)
+		if complete-w.now > cost {
+			cost = complete - w.now
+		}
+	}
+	if ready > w.now+cost {
+		cost = ready - w.now
+	}
+	w.now += cost
+}
+
+// WriteNT models a non-temporal (streaming) store of n bytes: it bypasses
+// and invalidates the LLC and is throughput-bound on the device's
+// non-temporal write path. Used for sequential write-back of cached
+// survivor regions.
+func (w *Worker) WriteNT(dev *Device, addr uint64, n int64) {
+	if n <= 0 {
+		return
+	}
+	w.yield()
+	w.m.LLC.invalidateRange(dev, addr, n)
+	complete := dev.access(w.now, opWriteNT, n, true)
+	w.now = complete
+}
+
+// Fence models a store fence ordering non-temporal writes (issued once
+// before GC end in the optimized collector).
+func (w *Worker) Fence() {
+	w.Advance(30)
+}
+
+// Prefetch issues a software prefetch for [addr, addr+n): missing lines
+// start an asynchronous device read and are installed with a future ready
+// time; a later demand access pays only the remaining latency. The
+// prefetch itself costs only issue overhead.
+func (w *Worker) Prefetch(dev *Device, addr uint64, n int64, seq bool) {
+	if n <= 0 {
+		return
+	}
+	w.yield()
+	c := w.m.LLC
+	miss := c.missingLines(dev, addr, n)
+	if miss > 0 {
+		done := dev.access(w.now, opRead, int64(miss)*LineSize, seq)
+		c.installPrefetch(dev, addr, n, w.now, done)
+	}
+	w.Advance(2)
+}

@@ -1,0 +1,207 @@
+// Package metrics provides percentile statistics and plain-text rendering
+// (tables and series) for the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-quantile (0..100) of values using linear
+// interpolation. It returns NaN for an empty slice. The input need not be
+// sorted.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// PercentilesSorted computes several quantiles in one pass over a sorted
+// slice.
+func PercentilesSorted(sorted []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary holds basic distribution statistics.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	P50, P95, P99  float64
+}
+
+// Summarize computes a Summary of values (NaN fields for empty input).
+func Summarize(values []float64) Summary {
+	s := Summary{N: len(values)}
+	if len(values) == 0 {
+		nan := math.NaN()
+		s.Min, s.Max, s.Mean, s.P50, s.P95, s.P99 = nan, nan, nan, nan, nan, nan
+		return s
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Mean = sum / float64(len(sorted))
+	s.P50 = percentileSorted(sorted, 50)
+	s.P95 = percentileSorted(sorted, 95)
+	s.P99 = percentileSorted(sorted, 99)
+	return s
+}
+
+// GeoMean returns the geometric mean of positive values (NaN if empty or
+// any value is non-positive).
+func GeoMean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, v := range values {
+		if v <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(values)))
+}
+
+// Table is a rectangular result table rendered as aligned plain text or
+// CSV — the harness's equivalent of one paper table/figure panel.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly (3 significant decimals).
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v != 0 && math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.2e", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Render returns the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table as comma-separated values (no quoting needed for
+// the harness's numeric content; commas in cells are replaced).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	clean := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(clean(c))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(clean(cell))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

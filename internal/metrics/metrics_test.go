@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(vals, 50); got != 3 {
+		t.Fatalf("p50 = %g", got)
+	}
+	if got := Percentile(vals, 0); got != 1 {
+		t.Fatalf("p0 = %g", got)
+	}
+	if got := Percentile(vals, 100); got != 5 {
+		t.Fatalf("p100 = %g", got)
+	}
+	if got := Percentile(vals, 25); got != 2 {
+		t.Fatalf("p25 = %g", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+	// Interpolation.
+	if got := Percentile([]float64{0, 10}, 75); got != 7.5 {
+		t.Fatalf("interpolated p75 = %g", got)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		pa := float64(a) / 255 * 100
+		pb := float64(b) / 255 * 100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(vals, pa) <= Percentile(vals, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentilesSorted(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	got := PercentilesSorted(s, 0, 50, 100)
+	if got[0] != 1 || got[1] != 2.5 || got[2] != 4 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Fatalf("empty summary %+v", empty)
+	}
+	// Summarize must not mutate the input.
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[2] != 2 {
+		t.Fatal("input mutated")
+	}
+	if !sort.Float64sAreSorted([]float64{s.P50, s.P95, s.P99}) {
+		t.Fatal("percentiles out of order")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean = %g", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) || !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("invalid inputs should give NaN")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "Fig X", Columns: []string{"app", "time (s)", "speedup"}}
+	tb.AddRow("page-rank", 12.5, 2.69)
+	tb.AddRow("als", 0.001234, "n/a")
+	out := tb.Render()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "page-rank") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "app,time (s),speedup\n") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "page-rank,12.5,2.69") {
+		t.Fatalf("csv row wrong:\n%s", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12.5:    "12.5",
+		2500:    "2500",
+		0.00042: "4.20e-04",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+	if FormatFloat(math.NaN()) != "-" {
+		t.Error("NaN should render as -")
+	}
+}

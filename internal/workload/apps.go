@@ -1,0 +1,177 @@
+package workload
+
+// The 26-application suite of the paper's evaluation (Section 5.1):
+// 22 Renaissance benchmarks (0.10, minus the three excluded in the paper)
+// plus four Spark jobs (page-rank, kmeans, connected-components,
+// single-source-shortest-path) with Panthera-style datasets.
+//
+// Parameters encode each application's published characterization:
+//   - Spark jobs: huge allocation volumes of small pointer-rich RDD
+//     records anchored in old-space partitions (long traversals, big
+//     remembered sets, high GC share — page-rank spends 17.6% of its
+//     NVM run in GC);
+//   - naive-bayes: most bytes in large primitive arrays (sequential-read
+//     heavy, write-intensive evacuation, fig. 7c/d);
+//   - akka-uct: a handful of deep task chains (GC load imbalance and a
+//     small live set, fig. 7e/f);
+//   - movie-lens: light mutator memory traffic (app time barely moves
+//     from DRAM to NVM, fig. 1);
+//   - finagle-http, rx-scrabble, scala-doku: few, short collections (the
+//     three applications that do not benefit in fig. 5).
+
+var profiles = []Profile{
+	{Name: "akka-uct", Suite: "renaissance", ObjWords: 6, RefsPerObj: 1, ChainLen: 384,
+		PrimArrayFrac: 0.05, PrimArrayWords: 64,
+		Survival: 0.06, ChurnDrop: 0.85, HolderFrac: 0.2,
+		LongLivedFrac: 0.06, HolderArrays: 8, HolderSlots: 128,
+		CPUNsPerKB: 900, RandReadsPerKB: 4, SeqKBPerKB: 0.1, EdenFills: 6},
+	{Name: "als", Suite: "renaissance", ObjWords: 6, RefsPerObj: 2, ChainLen: 12,
+		PrimArrayFrac: 0.45, PrimArrayWords: 256,
+		Survival: 0.18, ChurnDrop: 0.80, HolderFrac: 0.4,
+		LongLivedFrac: 0.12, HolderArrays: 16, HolderSlots: 256,
+		CPUNsPerKB: 800, RandReadsPerKB: 3, SeqKBPerKB: 0.4, EdenFills: 7},
+	{Name: "cc", Suite: "spark", ObjWords: 6, RefsPerObj: 2, ChainLen: 24,
+		PrimArrayFrac: 0.10, PrimArrayWords: 128, RefArrayFrac: 0.08, RefArrayWords: 34,
+		Survival: 0.28, ChurnDrop: 0.75, HolderFrac: 0.6,
+		LongLivedFrac: 0.22, HolderArrays: 24, HolderSlots: 256,
+		CPUNsPerKB: 650, RandReadsPerKB: 7, SeqKBPerKB: 0.3, EdenFills: 8},
+	{Name: "chi-square", Suite: "renaissance", ObjWords: 6, RefsPerObj: 1, ChainLen: 8,
+		PrimArrayFrac: 0.35, PrimArrayWords: 64,
+		Survival: 0.12, ChurnDrop: 0.85, HolderFrac: 0.3,
+		LongLivedFrac: 0.10, HolderArrays: 8, HolderSlots: 128,
+		CPUNsPerKB: 750, RandReadsPerKB: 3, SeqKBPerKB: 0.3, EdenFills: 5},
+	{Name: "dec-tree", Suite: "renaissance", ObjWords: 8, RefsPerObj: 2, ChainLen: 10,
+		PrimArrayFrac: 0.30, PrimArrayWords: 128,
+		Survival: 0.13, ChurnDrop: 0.80, HolderFrac: 0.3,
+		LongLivedFrac: 0.10, HolderArrays: 8, HolderSlots: 128,
+		CPUNsPerKB: 800, RandReadsPerKB: 4, SeqKBPerKB: 0.3, EdenFills: 5},
+	{Name: "dotty", Suite: "renaissance", ObjWords: 8, RefsPerObj: 2, ChainLen: 6,
+		PrimArrayFrac: 0.10, PrimArrayWords: 64,
+		Survival: 0.09, ChurnDrop: 0.90, HolderFrac: 0.2,
+		LongLivedFrac: 0.08, HolderArrays: 8, HolderSlots: 128,
+		CPUNsPerKB: 1200, RandReadsPerKB: 3, SeqKBPerKB: 0.1, EdenFills: 5},
+	{Name: "finagle-chirper", Suite: "renaissance", ObjWords: 6, RefsPerObj: 1, ChainLen: 5,
+		PrimArrayFrac: 0.15, PrimArrayWords: 64,
+		Survival: 0.08, ChurnDrop: 0.90, HolderFrac: 0.2,
+		LongLivedFrac: 0.05, HolderArrays: 4, HolderSlots: 128,
+		CPUNsPerKB: 900, RandReadsPerKB: 2.5, SeqKBPerKB: 0.1, EdenFills: 4},
+	{Name: "finagle-http", Suite: "renaissance", ObjWords: 6, RefsPerObj: 1, ChainLen: 4,
+		PrimArrayFrac: 0.20, PrimArrayWords: 64,
+		Survival: 0.05, ChurnDrop: 0.95, HolderFrac: 0.1,
+		LongLivedFrac: 0.04, HolderArrays: 4, HolderSlots: 64,
+		CPUNsPerKB: 1000, RandReadsPerKB: 2, SeqKBPerKB: 0.05, EdenFills: 2.6},
+	{Name: "fj-kmeans", Suite: "renaissance", ObjWords: 6, RefsPerObj: 2, ChainLen: 8,
+		PrimArrayFrac: 0.30, PrimArrayWords: 64,
+		Survival: 0.15, ChurnDrop: 0.80, HolderFrac: 0.3,
+		LongLivedFrac: 0.10, HolderArrays: 8, HolderSlots: 128,
+		CPUNsPerKB: 700, RandReadsPerKB: 4, SeqKBPerKB: 0.2, EdenFills: 6},
+	{Name: "future-genetic", Suite: "renaissance", ObjWords: 6, RefsPerObj: 2, ChainLen: 12,
+		PrimArrayFrac: 0.15, PrimArrayWords: 64,
+		Survival: 0.12, ChurnDrop: 0.85, HolderFrac: 0.2,
+		LongLivedFrac: 0.06, HolderArrays: 8, HolderSlots: 128,
+		CPUNsPerKB: 850, RandReadsPerKB: 3, SeqKBPerKB: 0.1, EdenFills: 5},
+	{Name: "gauss-mix", Suite: "renaissance", ObjWords: 6, RefsPerObj: 1, ChainLen: 6,
+		PrimArrayFrac: 0.50, PrimArrayWords: 128,
+		Survival: 0.15, ChurnDrop: 0.80, HolderFrac: 0.3,
+		LongLivedFrac: 0.12, HolderArrays: 8, HolderSlots: 128,
+		CPUNsPerKB: 750, RandReadsPerKB: 3, SeqKBPerKB: 0.4, EdenFills: 5},
+	{Name: "kmeans", Suite: "spark", ObjWords: 6, RefsPerObj: 2, ChainLen: 20,
+		PrimArrayFrac: 0.15, PrimArrayWords: 128, RefArrayFrac: 0.08, RefArrayWords: 34,
+		Survival: 0.32, ChurnDrop: 0.75, HolderFrac: 0.6,
+		LongLivedFrac: 0.22, HolderArrays: 24, HolderSlots: 256,
+		CPUNsPerKB: 600, RandReadsPerKB: 8, SeqKBPerKB: 0.3, EdenFills: 9},
+	{Name: "log-regression", Suite: "renaissance", ObjWords: 6, RefsPerObj: 2, ChainLen: 10,
+		PrimArrayFrac: 0.40, PrimArrayWords: 256,
+		Survival: 0.18, ChurnDrop: 0.80, HolderFrac: 0.4,
+		LongLivedFrac: 0.12, HolderArrays: 12, HolderSlots: 192,
+		CPUNsPerKB: 700, RandReadsPerKB: 4, SeqKBPerKB: 0.4, EdenFills: 6},
+	{Name: "mnemonics", Suite: "renaissance", ObjWords: 4, RefsPerObj: 1, ChainLen: 6,
+		PrimArrayFrac: 0.05, PrimArrayWords: 32,
+		Survival: 0.06, ChurnDrop: 0.95, HolderFrac: 0.1,
+		LongLivedFrac: 0.04, HolderArrays: 4, HolderSlots: 64,
+		CPUNsPerKB: 700, RandReadsPerKB: 2, SeqKBPerKB: 0.05, EdenFills: 6},
+	{Name: "movie-lens", Suite: "renaissance", ObjWords: 6, RefsPerObj: 2, ChainLen: 10,
+		PrimArrayFrac: 0.25, PrimArrayWords: 128,
+		Survival: 0.11, ChurnDrop: 0.85, HolderFrac: 0.3,
+		LongLivedFrac: 0.15, HolderArrays: 8, HolderSlots: 128,
+		CPUNsPerKB: 1500, RandReadsPerKB: 1.5, SeqKBPerKB: 0.2, EdenFills: 5},
+	{Name: "naive-bayes", Suite: "renaissance", ObjWords: 6, RefsPerObj: 1, ChainLen: 4,
+		PrimArrayFrac: 0.75, PrimArrayWords: 1024,
+		Survival: 0.30, ChurnDrop: 0.85, HolderFrac: 0.4,
+		LongLivedFrac: 0.15, HolderArrays: 8, HolderSlots: 128,
+		CPUNsPerKB: 650, RandReadsPerKB: 2, SeqKBPerKB: 0.6, EdenFills: 6},
+	{Name: "neo4j-analytics", Suite: "renaissance", ObjWords: 8, RefsPerObj: 2, ChainLen: 24,
+		PrimArrayFrac: 0.10, PrimArrayWords: 64, RefArrayFrac: 0.10, RefArrayWords: 34,
+		Survival: 0.18, ChurnDrop: 0.75, HolderFrac: 0.5,
+		LongLivedFrac: 0.15, HolderArrays: 16, HolderSlots: 192,
+		CPUNsPerKB: 800, RandReadsPerKB: 5, SeqKBPerKB: 0.2, EdenFills: 6},
+	{Name: "page-rank", Suite: "spark", ObjWords: 6, RefsPerObj: 2, ChainLen: 24,
+		PrimArrayFrac: 0.08, PrimArrayWords: 128, RefArrayFrac: 0.10, RefArrayWords: 34,
+		Survival: 0.38, ChurnDrop: 0.75, HolderFrac: 0.6,
+		LongLivedFrac: 0.25, HolderArrays: 24, HolderSlots: 256,
+		CPUNsPerKB: 600, RandReadsPerKB: 10, SeqKBPerKB: 0.3, EdenFills: 10},
+	{Name: "par-mnemonics", Suite: "renaissance", ObjWords: 4, RefsPerObj: 1, ChainLen: 6,
+		PrimArrayFrac: 0.05, PrimArrayWords: 32,
+		Survival: 0.06, ChurnDrop: 0.95, HolderFrac: 0.1,
+		LongLivedFrac: 0.04, HolderArrays: 4, HolderSlots: 64,
+		CPUNsPerKB: 650, RandReadsPerKB: 2, SeqKBPerKB: 0.05, EdenFills: 6},
+	{Name: "philosophers", Suite: "renaissance", ObjWords: 4, RefsPerObj: 1, ChainLen: 4,
+		PrimArrayFrac: 0.05, PrimArrayWords: 32,
+		Survival: 0.06, ChurnDrop: 0.95, HolderFrac: 0.1,
+		LongLivedFrac: 0.03, HolderArrays: 4, HolderSlots: 64,
+		CPUNsPerKB: 800, RandReadsPerKB: 2, SeqKBPerKB: 0.05, EdenFills: 3},
+	{Name: "reactors", Suite: "renaissance", ObjWords: 6, RefsPerObj: 1, ChainLen: 48,
+		PrimArrayFrac: 0.10, PrimArrayWords: 64,
+		Survival: 0.09, ChurnDrop: 0.85, HolderFrac: 0.2,
+		LongLivedFrac: 0.06, HolderArrays: 8, HolderSlots: 128,
+		CPUNsPerKB: 750, RandReadsPerKB: 3, SeqKBPerKB: 0.1, EdenFills: 6},
+	{Name: "rx-scrabble", Suite: "renaissance", ObjWords: 4, RefsPerObj: 1, ChainLen: 4,
+		PrimArrayFrac: 0.10, PrimArrayWords: 32,
+		Survival: 0.04, ChurnDrop: 0.95, HolderFrac: 0.1,
+		LongLivedFrac: 0.03, HolderArrays: 4, HolderSlots: 64,
+		CPUNsPerKB: 900, RandReadsPerKB: 2, SeqKBPerKB: 0.05, EdenFills: 2.2},
+	{Name: "scala-doku", Suite: "renaissance", ObjWords: 4, RefsPerObj: 1, ChainLen: 4,
+		PrimArrayFrac: 0.05, PrimArrayWords: 32,
+		Survival: 0.04, ChurnDrop: 0.95, HolderFrac: 0.1,
+		LongLivedFrac: 0.02, HolderArrays: 4, HolderSlots: 64,
+		CPUNsPerKB: 1100, RandReadsPerKB: 1.5, SeqKBPerKB: 0.02, EdenFills: 2.2},
+	{Name: "scala-stm-bench7", Suite: "renaissance", ObjWords: 6, RefsPerObj: 2, ChainLen: 16,
+		PrimArrayFrac: 0.10, PrimArrayWords: 64,
+		Survival: 0.21, ChurnDrop: 0.75, HolderFrac: 0.4,
+		LongLivedFrac: 0.10, HolderArrays: 12, HolderSlots: 192,
+		CPUNsPerKB: 650, RandReadsPerKB: 5, SeqKBPerKB: 0.2, EdenFills: 8},
+	{Name: "scrabble", Suite: "renaissance", ObjWords: 4, RefsPerObj: 1, ChainLen: 4,
+		PrimArrayFrac: 0.10, PrimArrayWords: 32,
+		Survival: 0.07, ChurnDrop: 0.90, HolderFrac: 0.1,
+		LongLivedFrac: 0.03, HolderArrays: 4, HolderSlots: 64,
+		CPUNsPerKB: 800, RandReadsPerKB: 2, SeqKBPerKB: 0.05, EdenFills: 2.8},
+	{Name: "sssp", Suite: "spark", ObjWords: 6, RefsPerObj: 2, ChainLen: 24,
+		PrimArrayFrac: 0.10, PrimArrayWords: 128, RefArrayFrac: 0.08, RefArrayWords: 34,
+		Survival: 0.34, ChurnDrop: 0.75, HolderFrac: 0.6,
+		LongLivedFrac: 0.22, HolderArrays: 24, HolderSlots: 256,
+		CPUNsPerKB: 620, RandReadsPerKB: 8, SeqKBPerKB: 0.3, EdenFills: 9},
+}
+
+// Profiles returns all 26 application profiles in the paper's figure
+// order (alphabetical, as on the fig. 5 axis).
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ByName returns the profile with the given name, or an invalid Profile
+// (Name == "") when unknown.
+func ByName(name string) Profile {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p
+		}
+	}
+	return Profile{}
+}
+
+// Fig1Apps returns the six applications of the paper's Figure 1.
+func Fig1Apps() []string {
+	return []string{"als", "kmeans", "log-regression", "movie-lens", "page-rank", "scala-stm-bench7"}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvmgc/internal/gc"
+	"nvmgc/internal/memsim"
+)
+
+func TestLoadProfileFromScratch(t *testing.T) {
+	p, err := LoadProfile(strings.NewReader(`{"Name":"mine","Survival":0.2,"EdenFills":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "mine" || p.Survival != 0.2 || p.EdenFills != 3 {
+		t.Fatalf("profile %+v", p)
+	}
+	// Unspecified fields inherit the neutral defaults.
+	if p.ObjWords != 6 || p.ChurnDrop != 0.85 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+}
+
+func TestLoadProfileWithBase(t *testing.T) {
+	p, err := LoadProfile(strings.NewReader(`{"Base":"page-rank","Name":"pr-variant","EdenFills":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ByName("page-rank")
+	if p.Name != "pr-variant" || p.EdenFills != 2 {
+		t.Fatalf("overrides lost: %+v", p)
+	}
+	if p.Survival != base.Survival || p.ChainLen != base.ChainLen {
+		t.Fatalf("base fields lost: %+v", p)
+	}
+}
+
+func TestLoadProfileRejections(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{nope`,
+		"unknown base":  `{"Base":"no-such-app","Name":"x"}`,
+		"invalid sizes": `{"Name":"x","ObjWords":3}`,
+		"zero fills":    `{"Name":"x","EdenFills":0}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadProfile(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadProfileFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	if err := os.WriteFile(path, []byte(`{"Base":"als","Name":"als2"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadProfileFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "als2" {
+		t.Fatalf("profile %+v", p)
+	}
+	if _, err := LoadProfileFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestCustomProfileRunsEndToEnd(t *testing.T) {
+	p, err := LoadProfile(strings.NewReader(`{"Name":"tiny-custom","Survival":0.1,"EdenFills":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newEnv(t, memsim.NVM)
+	col, err := gc.NewG1(h, gc.Vanilla())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(col, p, Config{GCThreads: 4, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocated == 0 {
+		t.Fatal("custom profile allocated nothing")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
