@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test verify bench bench-sim suite-quick
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# verify is the CI gate for the scheduler and the parallel harness: vet
+# everything, then run the simulator core, the host pool, and the bench
+# harness under the race detector. -short trims workload sizes (the
+# golden determinism tests still run, on reduced cases) so the gate
+# finishes in minutes even on a single-core host.
+verify: build
+	$(GO) vet ./...
+	$(GO) test -race -short -count=1 ./internal/memsim ./internal/par ./internal/bench
+
+# bench runs the simulator micro-benchmarks (testing.B) at the repo root.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMachineRun|BenchmarkCacheTouchRange|BenchmarkYoungGC' -benchmem -count=1 .
+
+# bench-sim regenerates results/BENCH_sim.json from the current tree
+# (records this tree's ns/op next to the checked-in baseline numbers).
+bench-sim:
+	./scripts/bench_sim.sh
+
+# suite-quick times the full quick figure suite (byte-identical output at
+# any -parallel / -eager-yield setting).
+suite-quick: build
+	time $(GO) run ./cmd/nvmbench -run all -quick -scale 0.2 > /dev/null

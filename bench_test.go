@@ -83,6 +83,81 @@ func BenchmarkPrefetchTable(b *testing.B) {
 	noteMetric(b, runExperiment(b, "tab-prefetch"), 0, "dram-gain-x")
 }
 
+// BenchmarkMachineRun measures the scheduler's handoff cost: 16 workers
+// issuing device-bound loads/stores under the min-virtual-time scheduler.
+// This is the microbenchmark for the event-horizon lookahead.
+func BenchmarkMachineRun(b *testing.B) {
+	const workers, opsPerWorker = 16, 200
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := memsim.NewMachine(memsim.DefaultConfig())
+		m.Run(workers, func(w *memsim.Worker) {
+			base := uint64(w.ID()) << 22
+			for j := 0; j < opsPerWorker; j++ {
+				w.Read(m.NVM, base+uint64(j*4096), 256, false)
+				w.Write(m.NVM, base+uint64(j*4096), 16, false)
+			}
+		})
+	}
+	b.ReportMetric(float64(b.N*workers*opsPerWorker*2), "sim-ops")
+}
+
+// BenchmarkCacheTouchRange measures the LLC probe path: a hit-heavy
+// working set (the all-resident fast path) plus a miss/eviction tail.
+func BenchmarkCacheTouchRange(b *testing.B) {
+	m := memsim.NewMachine(memsim.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(1, func(w *memsim.Worker) {
+			for j := 0; j < 64; j++ {
+				w.Read(m.NVM, uint64(j)*256, 256, true) // resident after warm-up
+			}
+			w.Read(m.NVM, uint64(1<<24)+uint64(i%1024)*4096, 4096, true) // misses
+		})
+	}
+}
+
+// BenchmarkYoungGC measures the host-side cost of one full young
+// collection under the optimized configuration (eden fill + collect).
+func BenchmarkYoungGC(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := memsim.NewMachine(memsim.DefaultConfig())
+		hc := heap.DefaultConfig()
+		hc.HeapRegions = 256
+		hc.EdenRegions = 24
+		h, err := heap.New(m, hc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, err := gc.NewG1(h, gc.Optimized())
+		if err != nil {
+			b.Fatal(err)
+		}
+		node, _ := h.Klasses.Define(fmt.Sprintf("yg%d", i), 6, []int32{2, 3})
+		m.Run(1, func(w *memsim.Worker) {
+			var prev heap.Address
+			for j := 0; ; j++ {
+				a, ok := h.AllocateEden(w, node, 6)
+				if !ok {
+					return
+				}
+				if prev != 0 {
+					h.SetRefInit(w, a, 2, prev)
+				}
+				if j%8 == 0 {
+					h.Roots.Add(w, a)
+				}
+				prev = a
+			}
+		})
+		if _, err := col.Collect(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCollectOnce measures the host-side cost of simulating a single
 // young collection per configuration — the simulator's own performance.
 func BenchmarkCollectOnce(b *testing.B) {

@@ -1,4 +1,4 @@
-// Command gcsim runs a single application profile under one collector
+// Command gcsim runs application profiles under one collector
 // configuration and prints a GC log, per-collection statistics, and an
 // optional bandwidth trace — the simulated analogue of running the
 // modified JVM with -Xlog:gc plus Intel PCM.
@@ -8,23 +8,45 @@
 //	gcsim -app page-rank -config all -threads 16
 //	gcsim -app naive-bayes -collector ps -config vanilla -device dram
 //	gcsim -app als -config writecache -trace
+//	gcsim -app page-rank,als,movie-lens -parallel 3
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"nvmgc/internal/gc"
 	"nvmgc/internal/gclog"
 	"nvmgc/internal/heap"
 	"nvmgc/internal/memsim"
+	"nvmgc/internal/par"
 	"nvmgc/internal/workload"
 )
 
+type options struct {
+	collector  string
+	opt        gc.Options
+	kind       memsim.Kind
+	youngDRAM  bool
+	threads    int
+	scale      float64
+	seed       uint64
+	trace      bool
+	eagerYield bool
+	jsonOut    string
+	mixedEvery int
+	fullEvery  int
+}
+
 func main() {
 	var (
-		app         = flag.String("app", "page-rank", "application profile name (see -apps)")
+		app         = flag.String("app", "page-rank", "application profile name, or a comma-separated list (see -apps)")
 		apps        = flag.Bool("apps", false, "list application profiles and exit")
 		collector   = flag.String("collector", "g1", "collector: g1 or ps")
 		config      = flag.String("config", "vanilla", "options: vanilla, writecache, all, async")
@@ -33,11 +55,16 @@ func main() {
 		threads     = flag.Int("threads", 16, "GC threads")
 		scale       = flag.Float64("scale", 0.5, "workload scale")
 		seed        = flag.Uint64("seed", 1, "workload RNG seed")
-		trace       = flag.Bool("trace", false, "print the NVM bandwidth trace")
+		trace       = flag.Bool("trace", false, "print the NVM bandwidth trace and LLC statistics")
 		jsonOut     = flag.String("json", "", "write the GC log as JSON lines to this file ('-' for stdout)")
 		mixedEvery  = flag.Int("mixed-every", 0, "run a mixed GC after every N young GCs")
 		fullEvery   = flag.Int("full-every", 0, "run a full GC after every N young GCs")
 		profileFile = flag.String("profile-file", "", "load a custom workload profile from a JSON file (overrides -app)")
+
+		parallel = flag.Int("parallel", 0, "host workers for a comma-separated -app list (0 = NumCPU, 1 = serial); per-app output is identical at any setting")
+		eager    = flag.Bool("eager-yield", false, "use the reference scheduler (yield before every device op); identical results, slower")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -48,17 +75,33 @@ func main() {
 		return
 	}
 
-	var prof workload.Profile
-	if *profileFile != "" {
-		var err error
-		prof, err = workload.LoadProfileFile(*profileFile)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
 		if err != nil {
 			fatal(err)
 		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var profs []workload.Profile
+	if *profileFile != "" {
+		prof, err := workload.LoadProfileFile(*profileFile)
+		if err != nil {
+			fatal(err)
+		}
+		profs = append(profs, prof)
 	} else {
-		prof = workload.ByName(*app)
-		if prof.Name == "" {
-			fatal(fmt.Errorf("unknown app %q (try -apps)", *app))
+		for _, name := range strings.Split(*app, ",") {
+			name = strings.TrimSpace(name)
+			prof := workload.ByName(name)
+			if prof.Name == "" {
+				fatal(fmt.Errorf("unknown app %q (try -apps)", name))
+			}
+			profs = append(profs, prof)
 		}
 	}
 	var opt gc.Options
@@ -79,97 +122,149 @@ func main() {
 	if *device == "dram" {
 		kind = memsim.DRAM
 	}
-
-	mc := memsim.DefaultConfig()
-	if !*trace {
-		mc.TraceBucket = 0
-	}
-	m := memsim.NewMachine(mc)
-	hc := heap.DefaultConfig()
-	hc.HeapKind = kind
-	hc.YoungOnDRAM = *younDRAM
-	h, err := heap.New(m, hc)
-	if err != nil {
-		fatal(err)
-	}
-	var col gc.Collector
-	if *collector == "ps" {
-		col, err = gc.NewPS(h, opt)
-	} else {
-		col, err = gc.NewG1(h, opt)
-	}
-	if err != nil {
-		fatal(err)
+	if len(profs) > 1 && *jsonOut != "" && *jsonOut != "-" {
+		fatal(fmt.Errorf("-json to a file needs a single -app"))
 	}
 
-	r, err := workload.NewRunner(col, prof, workload.Config{
-		GCThreads: *threads, Scale: *scale, Seed: *seed,
-		MixedGCEvery: *mixedEvery, FullGCEvery: *fullEvery,
+	o := options{
+		collector: *collector, opt: opt, kind: kind, youngDRAM: *younDRAM,
+		threads: *threads, scale: *scale, seed: *seed, trace: *trace,
+		eagerYield: *eager, jsonOut: *jsonOut,
+		mixedEvery: *mixedEvery, fullEvery: *fullEvery,
+	}
+
+	// Each app gets its own Machine and is deterministic given the seed,
+	// so the runs fan out over the host pool and print in list order.
+	outs, err := par.Map(len(profs), *parallel, func(i int) (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		err := runApp(&b, profs[i], o)
+		return &b, err
 	})
 	if err != nil {
 		fatal(err)
 	}
-	res, err := r.Run()
-	if err != nil {
-		fatal(err)
+	for i, b := range outs {
+		if i > 0 {
+			fmt.Println()
+		}
+		io.Copy(os.Stdout, b)
 	}
 
-	fmt.Printf("%s on %s, %s %s, %d GC threads (virtual time)\n",
-		prof.Name, kind, col.Name(), opt.Label(), *threads)
-	fmt.Printf("heap %d MiB, region %d KiB, eden %d regions\n\n",
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runApp executes one application profile and writes its whole report to w.
+func runApp(w io.Writer, prof workload.Profile, o options) error {
+	mc := memsim.DefaultConfig()
+	if !o.trace {
+		mc.TraceBucket = 0
+	}
+	mc.EagerYield = o.eagerYield
+	m := memsim.NewMachine(mc)
+	hc := heap.DefaultConfig()
+	hc.HeapKind = o.kind
+	hc.YoungOnDRAM = o.youngDRAM
+	h, err := heap.New(m, hc)
+	if err != nil {
+		return err
+	}
+	var col gc.Collector
+	if o.collector == "ps" {
+		col, err = gc.NewPS(h, o.opt)
+	} else {
+		col, err = gc.NewG1(h, o.opt)
+	}
+	if err != nil {
+		return err
+	}
+
+	r, err := workload.NewRunner(col, prof, workload.Config{
+		GCThreads: o.threads, Scale: o.scale, Seed: o.seed,
+		MixedGCEvery: o.mixedEvery, FullGCEvery: o.fullEvery,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := r.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%s on %s, %s %s, %d GC threads (virtual time)\n",
+		prof.Name, o.kind, col.Name(), o.opt.Label(), o.threads)
+	fmt.Fprintf(w, "heap %d MiB, region %d KiB, eden %d regions\n\n",
 		h.HeapBytes()>>20, h.RegionBytes()>>10, hc.EdenRegions)
 
 	for i, c := range res.Collections {
-		fmt.Printf("[gc %2d] pause %8.3fms  copied %6.2f MiB (%d objs, %d promoted)  read-mostly %7.3fms  write-only %7.3fms\n",
+		fmt.Fprintf(w, "[gc %2d] pause %8.3fms  copied %6.2f MiB (%d objs, %d promoted)  read-mostly %7.3fms  write-only %7.3fms\n",
 			i, ms(c.Pause), float64(c.BytesCopied)/(1<<20), c.ObjectsCopied, c.ObjectsPromoted,
 			ms(c.ReadMostly), ms(c.WriteOnly))
 		if c.HeaderMapInstalls > 0 || c.HeaderMapFallbacks > 0 {
-			fmt.Printf("        header map: %d hits, %d installs, %d fallbacks\n",
+			fmt.Fprintf(w, "        header map: %d hits, %d installs, %d fallbacks\n",
 				c.HeaderMapHits, c.HeaderMapInstalls, c.HeaderMapFallbacks)
 		}
 		if c.CacheRegionsUsed > 0 {
-			fmt.Printf("        write cache: %d regions, %d sync + %d async flushes, %d fallback bytes\n",
+			fmt.Fprintf(w, "        write cache: %d regions, %d sync + %d async flushes, %d fallback bytes\n",
 				c.CacheRegionsUsed, c.RegionsFlushedSync, c.RegionsFlushedAsync, c.CacheFallbackBytes)
 		}
 	}
 
-	if *jsonOut != "" {
-		l := gclog.FromCollections(col.Name(), opt, *threads, res.Collections)
-		w := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fatal(err)
+	if o.jsonOut != "" {
+		l := gclog.FromCollections(col.Name(), o.opt, o.threads, res.Collections)
+		if o.jsonOut == "-" {
+			if err := l.WriteJSON(w); err != nil {
+				return err
 			}
-			defer f.Close()
-			w = f
-		}
-		if err := l.WriteJSON(w); err != nil {
-			fatal(err)
+		} else {
+			f, err := os.Create(o.jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := l.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
 		sum := l.Summarize()
-		fmt.Printf("\ngc log summary: %d collections (%d full), total pause %.3f ms, p95 %.3f ms, NT write share %.0f%%\n",
+		fmt.Fprintf(w, "\ngc log summary: %d collections (%d full), total pause %.3f ms, p95 %.3f ms, NT write share %.0f%%\n",
 			sum.Collections, sum.FullGCs, sum.TotalPauseMs, sum.P95PauseMs, 100*sum.WriteSeparation)
 	}
 
 	tot := res.GCTotals()
-	fmt.Printf("\ntotal:   %10.3f ms\napp:     %10.3f ms\ngc:      %10.3f ms (%d collections, max pause %.3f ms)\n",
+	fmt.Fprintf(w, "\ntotal:   %10.3f ms\napp:     %10.3f ms\ngc:      %10.3f ms (%d collections, max pause %.3f ms)\n",
 		ms(res.Total), ms(res.App), ms(res.GC), tot.Collections, ms(tot.MaxPause))
-	fmt.Printf("gc NVM traffic: %.1f MiB read, %.1f MiB written (%.1f writeback + %.1f non-temporal)\n",
+	fmt.Fprintf(w, "gc NVM traffic: %.1f MiB read, %.1f MiB written (%.1f writeback + %.1f non-temporal)\n",
 		float64(tot.NVM.ReadBytes)/(1<<20), float64(tot.NVM.WriteBytes)/(1<<20),
 		float64(tot.NVM.WritebackBytes)/(1<<20), float64(tot.NVM.NTBytes)/(1<<20))
-	fmt.Printf("allocated: %.1f MiB\n", float64(res.Allocated)/(1<<20))
+	fmt.Fprintf(w, "allocated: %.1f MiB\n", float64(res.Allocated)/(1<<20))
 
-	if *trace {
-		fmt.Println("\nNVM bandwidth trace (MB/s):")
+	if o.trace {
+		cs := m.LLC.Stats()
+		fmt.Fprintf(w, "llc: %d hits, %d misses, %d writebacks; prefetch: %d promoted, %d overwritten in-flight\n",
+			cs.Hits, cs.Misses, cs.Writebacks, cs.PrefetchPromotions, cs.PrefetchOverwrites)
+		fmt.Fprintln(w, "\nNVM bandwidth trace (MB/s):")
 		for _, pt := range m.NVM.Trace().Series(0) {
 			if pt.Total == 0 {
 				continue
 			}
-			fmt.Printf("%10.2fms  read %8.0f  write %8.0f  total %8.0f\n",
+			fmt.Fprintf(w, "%10.2fms  read %8.0f  write %8.0f  total %8.0f\n",
 				ms(pt.T), pt.Read, pt.Write, pt.Total)
 		}
 	}
+	return nil
 }
 
 func ms(t memsim.Time) float64 { return float64(t) / float64(memsim.Millisecond) }

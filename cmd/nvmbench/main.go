@@ -6,12 +6,15 @@
 //	nvmbench -list
 //	nvmbench -run fig5 -scale 0.5 -threads 16
 //	nvmbench -run all -quick -format csv -o results.csv
+//	nvmbench -run fig5 -parallel 1 -eager-yield   # reference schedule, serial
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,6 +31,11 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced app sets and sweeps")
 		format  = flag.String("format", "table", "output format: table or csv")
 		out     = flag.String("o", "", "write output to file instead of stdout")
+
+		parallel = flag.Int("parallel", 0, "host workers for fanning out experiment points (0 = NumCPU, 1 = serial); results are identical at any setting")
+		eager    = flag.Bool("eager-yield", false, "use the reference scheduler (yield before every device op); identical results, slower")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -36,6 +44,18 @@ func main() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var ids []string
@@ -57,7 +77,10 @@ func main() {
 		w = f
 	}
 
-	params := bench.Params{Scale: *scale, Threads: *threads, Seed: *seed, Quick: *quick}
+	params := bench.Params{
+		Scale: *scale, Threads: *threads, Seed: *seed, Quick: *quick,
+		Parallel: *parallel, EagerYield: *eager,
+	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e, ok := bench.ByID(id)
@@ -76,6 +99,18 @@ func main() {
 			fmt.Fprint(w, rep.CSV())
 		default:
 			fmt.Fprintln(w, rep.Render())
+		}
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -30,18 +30,25 @@ func AblTraversal(p Params) (*Report, error) {
 		Columns: []string{"app", "order", "gc (s)", "app (s)", "total (s)"},
 	}
 	rep := &Report{ID: "abl-traversal", Title: "Traversal-order ablation (Section 4.3)", Tables: []*metrics.Table{t}}
+	var specs []runSpec
 	for i, name := range apps {
-		var appTimes [2]float64
-		for bi, bfs := range []bool{false, true} {
+		for _, bfs := range []bool{false, true} {
 			opt := gc.Optimized()
 			opt.BFS = bfs
-			res, _, err := runOne(runSpec{
+			specs = append(specs, runSpec{
 				app: workload.ByName(name), heapKind: memsim.NVM, opt: opt,
 				threads: threads, scale: p.scale(), seed: p.seed() + uint64(i),
 			})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	outs, err := runAll(p, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range apps {
+		var appTimes [2]float64
+		for bi, bfs := range []bool{false, true} {
+			res := outs[2*i+bi].res
 			order := "dfs"
 			if bfs {
 				order = "bfs"
@@ -71,17 +78,24 @@ func AblNonTemporal(p Params) (*Report, error) {
 		Columns: []string{"app", "store path", "gc (s)", "write-only phase (ms)"},
 	}
 	rep := &Report{ID: "abl-nt", Title: "Non-temporal write-back ablation (Section 4.1)", Tables: []*metrics.Table{t}}
+	var specs []runSpec
+	for i, name := range apps {
+		for _, nt := range []bool{false, true} {
+			specs = append(specs, runSpec{
+				app: workload.ByName(name), heapKind: memsim.NVM,
+				opt:     gc.Options{WriteCache: true, NonTemporal: nt},
+				threads: threads, scale: p.scale(), seed: p.seed() + uint64(i),
+			})
+		}
+	}
+	outs, err := runAll(p, specs)
+	if err != nil {
+		return nil, err
+	}
 	for i, name := range apps {
 		var gcTimes [2]float64
 		for bi, nt := range []bool{false, true} {
-			opt := gc.Options{WriteCache: true, NonTemporal: nt}
-			res, _, err := runOne(runSpec{
-				app: workload.ByName(name), heapKind: memsim.NVM, opt: opt,
-				threads: threads, scale: p.scale(), seed: p.seed() + uint64(i),
-			})
-			if err != nil {
-				return nil, err
-			}
+			res := outs[2*i+bi].res
 			var wo memsim.Time
 			for _, c := range res.Collections {
 				wo += c.WriteOnly
@@ -116,17 +130,22 @@ func AblFlushChunk(p Params) (*Report, error) {
 	if p.Quick {
 		chunks = chunks[:2]
 	}
+	var specs []runSpec
 	for _, chunk := range chunks {
 		opt := gc.Optimized()
 		opt.AsyncFlush = true
 		opt.FlushChunkBytes = chunk
-		res, _, err := runOne(runSpec{
+		specs = append(specs, runSpec{
 			app: app, heapKind: memsim.NVM, opt: opt,
 			threads: threads, scale: p.scale(), seed: p.seed(),
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	outs, err := runAll(p, specs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, chunk := range chunks {
+		res := outs[ci].res
 		var async int64
 		for _, c := range res.Collections {
 			async += c.RegionsFlushedAsync
@@ -151,21 +170,24 @@ func AblHeaderMapThreshold(p Params) (*Report, error) {
 	if p.Quick {
 		threadSet = []int{2, 16}
 	}
-	var lowBenefit, highBenefit float64
+	var specs []runSpec
 	for _, th := range threadSet {
 		off := gc.WithWriteCache()
-		res1, _, err := runOne(runSpec{app: app, heapKind: memsim.NVM, opt: off,
-			threads: th, scale: p.scale(), seed: p.seed()})
-		if err != nil {
-			return nil, err
-		}
 		on := gc.Optimized()
 		on.HeaderMapMinThreads = 1 // force-enable even at low thread counts
-		res2, _, err := runOne(runSpec{app: app, heapKind: memsim.NVM, opt: on,
-			threads: th, scale: p.scale(), seed: p.seed()})
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs,
+			runSpec{app: app, heapKind: memsim.NVM, opt: off,
+				threads: th, scale: p.scale(), seed: p.seed()},
+			runSpec{app: app, heapKind: memsim.NVM, opt: on,
+				threads: th, scale: p.scale(), seed: p.seed()})
+	}
+	outs, err := runAll(p, specs)
+	if err != nil {
+		return nil, err
+	}
+	var lowBenefit, highBenefit float64
+	for ti, th := range threadSet {
+		res1, res2 := outs[2*ti].res, outs[2*ti+1].res
 		benefit := ratio(float64(res1.GC), float64(res2.GC))
 		if th <= 4 {
 			lowBenefit = benefit

@@ -13,6 +13,7 @@ import (
 	"nvmgc/internal/heap"
 	"nvmgc/internal/memsim"
 	"nvmgc/internal/metrics"
+	"nvmgc/internal/par"
 	"nvmgc/internal/workload"
 )
 
@@ -26,6 +27,15 @@ type Params struct {
 	Seed uint64
 	// Quick restricts app sets and sweeps for fast smoke runs.
 	Quick bool
+	// Parallel bounds the host worker pool that fans out independent
+	// experiment data points (each one builds its own Machine and is
+	// deterministic given its seed, so results are identical at any
+	// setting). 0 -> runtime.NumCPU(), 1 -> serial.
+	Parallel int
+	// EagerYield runs every Machine in the reference scheduling mode
+	// (yield before each device op) instead of event-horizon lookahead.
+	// Results are identical; this exists to demonstrate that.
+	EagerYield bool
 }
 
 func (p Params) scale() float64 {
@@ -135,6 +145,7 @@ type runSpec struct {
 	scale       float64
 	seed        uint64
 	trace       bool
+	eager       bool
 }
 
 // machineConfig is the standard simulated host for all experiments.
@@ -174,10 +185,32 @@ func runWith(col gc.Collector, spec runSpec) (workload.Result, error) {
 	return r.Run()
 }
 
+// runOut is one experiment data point's output: the workload result plus
+// its machine (for traces and marks).
+type runOut struct {
+	res workload.Result
+	m   *memsim.Machine
+}
+
+// runAll executes all specs on the bounded host worker pool (see
+// Params.Parallel) and returns the results in spec order. Each spec builds
+// its own Machine, so points are independent and the fan-out cannot change
+// any virtual-time result.
+func runAll(p Params, specs []runSpec) ([]runOut, error) {
+	return par.Map(len(specs), p.Parallel, func(i int) (runOut, error) {
+		spec := specs[i]
+		spec.eager = p.EagerYield
+		res, m, err := runOne(spec)
+		return runOut{res: res, m: m}, err
+	})
+}
+
 // runOne executes one application run and returns the result plus the
 // machine (for traces and marks).
 func runOne(spec runSpec) (workload.Result, *memsim.Machine, error) {
-	m := memsim.NewMachine(machineConfig(spec.trace))
+	mc := machineConfig(spec.trace)
+	mc.EagerYield = spec.eager
+	m := memsim.NewMachine(mc)
 	h, err := newHeapFor(m, spec)
 	if err != nil {
 		return workload.Result{}, nil, err

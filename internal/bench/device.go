@@ -3,6 +3,7 @@ package bench
 import (
 	"nvmgc/internal/memsim"
 	"nvmgc/internal/metrics"
+	"nvmgc/internal/par"
 )
 
 // DeviceTable characterizes the simulated devices the way prior work
@@ -44,19 +45,26 @@ func DeviceTable(p Params) (*Report, error) {
 		Title:   "Single-thread goodput by access pattern (MB/s of payload bytes)",
 		Columns: []string{"pattern", "DRAM", "NVM", "DRAM/NVM"},
 	}
-	for _, pat := range patterns {
-		var bw [2]float64
-		for ki, kind := range []memsim.Kind{memsim.DRAM, memsim.NVM} {
-			m := memsim.NewMachine(machineConfig(false))
-			dev := m.Device(kind)
-			el := m.Run(1, func(w *memsim.Worker) {
-				for i := 0; i < ops; i++ {
-					pat.run(w, dev, i)
-				}
-			})
-			bw[ki] = float64(int64(ops)*pat.n) / 1e6 / seconds(el)
-		}
-		t1.AddRow(pat.name, bw[0], bw[1], bw[0]/bw[1])
+	kinds := []memsim.Kind{memsim.DRAM, memsim.NVM}
+	bw1, err := par.Map(len(patterns)*len(kinds), p.Parallel, func(i int) (float64, error) {
+		pat, kind := patterns[i/len(kinds)], kinds[i%len(kinds)]
+		mc := machineConfig(false)
+		mc.EagerYield = p.EagerYield
+		m := memsim.NewMachine(mc)
+		dev := m.Device(kind)
+		el := m.Run(1, func(w *memsim.Worker) {
+			for i := 0; i < ops; i++ {
+				pat.run(w, dev, i)
+			}
+		})
+		return float64(int64(ops)*pat.n) / 1e6 / seconds(el), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pat := range patterns {
+		d, n := bw1[pi*len(kinds)], bw1[pi*len(kinds)+1]
+		t1.AddRow(pat.name, d, n, d/n)
 	}
 	rep.Tables = append(rep.Tables, t1)
 
@@ -65,8 +73,13 @@ func DeviceTable(p Params) (*Report, error) {
 		Title:   "NVM aggregate bandwidth vs write share (8 threads, 4K sequential ops)",
 		Columns: []string{"write fraction", "total (MB/s)", "read (MB/s)", "write (MB/s)"},
 	}
-	for _, wf := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1} {
-		m := memsim.NewMachine(machineConfig(false))
+	writeFracs := []float64{0, 0.1, 0.25, 0.5, 0.75, 1}
+	type mixOut struct{ total, read, write float64 }
+	mixes, err := par.Map(len(writeFracs), p.Parallel, func(i int) (mixOut, error) {
+		wf := writeFracs[i]
+		mc := machineConfig(false)
+		mc.EagerYield = p.EagerYield
+		m := memsim.NewMachine(mc)
 		dev := m.NVM
 		perWorker := ops / 4
 		el := m.Run(8, func(w *memsim.Worker) {
@@ -80,10 +93,17 @@ func DeviceTable(p Params) (*Report, error) {
 			}
 		})
 		s := dev.Stats()
-		t2.AddRow(wf,
-			float64(s.Total())/1e6/seconds(el),
-			float64(s.ReadBytes)/1e6/seconds(el),
-			float64(s.WriteBytes)/1e6/seconds(el))
+		return mixOut{
+			total: float64(s.Total()) / 1e6 / seconds(el),
+			read:  float64(s.ReadBytes) / 1e6 / seconds(el),
+			write: float64(s.WriteBytes) / 1e6 / seconds(el),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, wf := range writeFracs {
+		t2.AddRow(wf, mixes[wi].total, mixes[wi].read, mixes[wi].write)
 	}
 	rep.Tables = append(rep.Tables, t2)
 
@@ -92,21 +112,27 @@ func DeviceTable(p Params) (*Report, error) {
 		Title:   "Aggregate sequential-read bandwidth vs threads (MB/s)",
 		Columns: []string{"threads", "DRAM", "NVM"},
 	}
-	for _, th := range []int{1, 2, 4, 8, 16, 32} {
-		var bw [2]float64
-		for ki, kind := range []memsim.Kind{memsim.DRAM, memsim.NVM} {
-			m := memsim.NewMachine(machineConfig(false))
-			dev := m.Device(kind)
-			perWorker := ops / 2
-			el := m.Run(th, func(w *memsim.Worker) {
-				base := uint64(1<<33) + uint64(w.ID())<<28
-				for i := 0; i < perWorker; i++ {
-					w.Read(dev, base+uint64(i)*4096, 4096, true)
-				}
-			})
-			bw[ki] = float64(dev.Stats().ReadBytes) / 1e6 / seconds(el)
-		}
-		t3.AddRow(th, bw[0], bw[1])
+	threadCounts := []int{1, 2, 4, 8, 16, 32}
+	bw3, err := par.Map(len(threadCounts)*len(kinds), p.Parallel, func(i int) (float64, error) {
+		th, kind := threadCounts[i/len(kinds)], kinds[i%len(kinds)]
+		mc := machineConfig(false)
+		mc.EagerYield = p.EagerYield
+		m := memsim.NewMachine(mc)
+		dev := m.Device(kind)
+		perWorker := ops / 2
+		el := m.Run(th, func(w *memsim.Worker) {
+			base := uint64(1<<33) + uint64(w.ID())<<28
+			for i := 0; i < perWorker; i++ {
+				w.Read(dev, base+uint64(i)*4096, 4096, true)
+			}
+		})
+		return float64(dev.Stats().ReadBytes) / 1e6 / seconds(el), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, th := range threadCounts {
+		t3.AddRow(th, bw3[ti*len(kinds)], bw3[ti*len(kinds)+1])
 	}
 	rep.Tables = append(rep.Tables, t3)
 

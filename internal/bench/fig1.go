@@ -23,22 +23,23 @@ func Fig1(p Params) (*Report, error) {
 		Title:   "Application and GC time, DRAM vs NVM (vanilla G1)",
 		Columns: []string{"app", "device", "app (s)", "gc (s)", "gc share", "gc slowdown", "app slowdown"},
 	}
+	specs := make([]runSpec, 0, 2*len(apps))
+	for i, name := range apps {
+		spec := runSpec{app: workload.ByName(name), threads: threads, scale: p.scale(), seed: p.seed() + uint64(i)}
+		spec.heapKind = memsim.DRAM
+		dramSpec := spec
+		spec.heapKind = memsim.NVM
+		specs = append(specs, dramSpec, spec)
+	}
+	outs, err := runAll(p, specs)
+	if err != nil {
+		return nil, err
+	}
+
 	var gcSlow, appSlow []float64
 	var shareDRAM, shareNVM []float64
 	for i, name := range apps {
-		prof := workload.ByName(name)
-		spec := runSpec{app: prof, threads: threads, scale: p.scale(), seed: p.seed() + uint64(i)}
-
-		spec.heapKind = memsim.DRAM
-		dram, _, err := runOne(spec)
-		if err != nil {
-			return nil, err
-		}
-		spec.heapKind = memsim.NVM
-		nvm, _, err := runOne(spec)
-		if err != nil {
-			return nil, err
-		}
+		dram, nvm := outs[2*i].res, outs[2*i+1].res
 
 		gs := ratio(float64(nvm.GC), float64(dram.GC))
 		as := ratio(float64(nvm.App), float64(dram.App))

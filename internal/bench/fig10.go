@@ -6,6 +6,7 @@ import (
 	"nvmgc/internal/gc"
 	"nvmgc/internal/memsim"
 	"nvmgc/internal/metrics"
+	"nvmgc/internal/par"
 	"nvmgc/internal/workload"
 )
 
@@ -23,24 +24,37 @@ func Fig10(p Params) (*Report, error) {
 		Title:   "GC time (s) vs header-map size (+all)",
 		Columns: []string{"app", "512M-eq (1/32)", "1G-eq (1/16)", "2G-eq (1/8)", "occupancy@1/32"},
 	}
-	var renGain, sparkGain []float64
+	fracs := []int64{32, 16, 8}
+	var specs []runSpec
 	for i, app := range apps {
-		seed := p.seed() + uint64(i)
-		var gcTimes []float64
-		var occ float64
-		for j, frac := range []int64{32, 16, 8} {
-			spec := runSpec{app: app, heapKind: memsim.NVM, threads: threads, scale: p.scale(), seed: seed}
+		for _, frac := range fracs {
+			spec := runSpec{app: app, heapKind: memsim.NVM, threads: threads, scale: p.scale(), seed: p.seed() + uint64(i)}
 			spec.opt = gc.Optimized()
 			spec.opt.HeaderMapBytes = heapConfig(memsim.NVM, false).RegionBytes * int64(heapConfig(memsim.NVM, false).HeapRegions) / frac
-			res, pk, err := runOneWithOccupancy(spec)
-			if err != nil {
-				return nil, err
-			}
-			gcTimes = append(gcTimes, seconds(res.GC))
-			if j == 0 {
-				occ = pk
-			}
+			specs = append(specs, spec)
 		}
+	}
+	type occOut struct {
+		gcSeconds float64
+		occupancy float64
+	}
+	outs, err := par.Map(len(specs), p.Parallel, func(i int) (occOut, error) {
+		spec := specs[i]
+		spec.eager = p.EagerYield
+		res, pk, err := runOneWithOccupancy(spec)
+		return occOut{gcSeconds: seconds(res.GC), occupancy: pk}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var renGain, sparkGain []float64
+	for i, app := range apps {
+		var gcTimes []float64
+		for j := range fracs {
+			gcTimes = append(gcTimes, outs[i*len(fracs)+j].gcSeconds)
+		}
+		occ := outs[i*len(fracs)].occupancy
 		gain := ratio(gcTimes[0], gcTimes[2]) - 1
 		if app.Suite == "spark" {
 			sparkGain = append(sparkGain, gain)
@@ -64,7 +78,9 @@ func Fig10(p Params) (*Report, error) {
 // runOneWithOccupancy runs a spec (G1 only) and additionally reports the
 // peak header-map occupancy observed across collections.
 func runOneWithOccupancy(spec runSpec) (workload.Result, float64, error) {
-	m := memsim.NewMachine(machineConfig(spec.trace))
+	mc := machineConfig(spec.trace)
+	mc.EagerYield = spec.eager
+	m := memsim.NewMachine(mc)
 	h, err := newHeapFor(m, spec)
 	if err != nil {
 		return workload.Result{}, 0, err
@@ -109,38 +125,30 @@ func Fig11(p Params) (*Report, error) {
 		Title:   "GC time (s) vs write-cache setting",
 		Columns: []string{"app", "sync", "sync-unlimited", "async", "dram"},
 	}
-	var asyncCost []float64
+	var specs []runSpec
 	for i, app := range apps {
-		seed := p.seed() + uint64(i)
-		base := runSpec{app: app, heapKind: memsim.NVM, threads: threads, scale: p.scale(), seed: seed}
+		base := runSpec{app: app, heapKind: memsim.NVM, threads: threads, scale: p.scale(), seed: p.seed() + uint64(i)}
 
 		syncSpec := base
 		syncSpec.opt = gc.Optimized()
-		syncRes, _, err := runOne(syncSpec)
-		if err != nil {
-			return nil, err
-		}
 		unlSpec := base
 		unlSpec.opt = gc.Optimized()
 		unlSpec.opt.WriteCacheBytes = -1
-		unl, _, err := runOne(unlSpec)
-		if err != nil {
-			return nil, err
-		}
 		asySpec := base
 		asySpec.opt = gc.Optimized()
 		asySpec.opt.AsyncFlush = true
-		asy, _, err := runOne(asySpec)
-		if err != nil {
-			return nil, err
-		}
 		dramSpec := base
 		dramSpec.heapKind = memsim.DRAM
-		dram, _, err := runOne(dramSpec)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs, syncSpec, unlSpec, asySpec, dramSpec)
+	}
+	outs, err := runAll(p, specs)
+	if err != nil {
+		return nil, err
+	}
 
+	var asyncCost []float64
+	for i, app := range apps {
+		syncRes, unl, asy, dram := outs[4*i].res, outs[4*i+1].res, outs[4*i+2].res, outs[4*i+3].res
 		asyncCost = append(asyncCost, ratio(float64(asy.GC), float64(syncRes.GC))-1)
 		t.AddRow(app.Name, seconds(syncRes.GC), seconds(unl.GC), seconds(asy.GC), seconds(dram.GC))
 	}
@@ -171,26 +179,23 @@ func Fig12(p Params) (*Report, error) {
 		Title:   "GC improvement per dollar (s/$, scaled heap)",
 		Columns: []string{"app", "G1-Opt", "all-DRAM", "opt/dram ratio"},
 	}
-	var ratios, sparkRatios []float64
+	var specs12 []runSpec
 	for i, app := range apps {
-		seed := p.seed() + uint64(i)
-		base := runSpec{app: app, heapKind: memsim.NVM, threads: threads, scale: p.scale(), seed: seed}
-		vanilla, _, err := runOne(base)
-		if err != nil {
-			return nil, err
-		}
+		base := runSpec{app: app, heapKind: memsim.NVM, threads: threads, scale: p.scale(), seed: p.seed() + uint64(i)}
 		optSpec := base
 		optSpec.opt = gc.Optimized()
-		opt, _, err := runOne(optSpec)
-		if err != nil {
-			return nil, err
-		}
 		dramSpec := base
 		dramSpec.heapKind = memsim.DRAM
-		dram, _, err := runOne(dramSpec)
-		if err != nil {
-			return nil, err
-		}
+		specs12 = append(specs12, base, optSpec, dramSpec)
+	}
+	outs12, err := runAll(p, specs12)
+	if err != nil {
+		return nil, err
+	}
+
+	var ratios, sparkRatios []float64
+	for i, app := range apps {
+		vanilla, opt, dram := outs12[3*i].res, outs12[3*i+1].res, outs12[3*i+2].res
 		perDollarOpt := (seconds(vanilla.GC) - seconds(opt.GC)) / optCost
 		perDollarDram := (seconds(vanilla.GC) - seconds(dram.GC)) / dramCost
 		rr := ratio(perDollarOpt, perDollarDram)

@@ -31,24 +31,34 @@ func Fig13(p Params) (*Report, error) {
 	}
 
 	rep := &Report{ID: "fig13", Title: "GC scalability"}
+	var specs []runSpec
+	for i, app := range apps {
+		for _, cfg := range configs {
+			for _, th := range threadSet {
+				specs = append(specs, runSpec{
+					app: app, heapKind: memsim.NVM, opt: cfg.opt,
+					threads: th, scale: p.scale(), seed: p.seed() + uint64(i),
+				})
+			}
+		}
+	}
+	outs, err := runAll(p, specs)
+	if err != nil {
+		return nil, err
+	}
+
 	scaleBeyond8 := map[string][]float64{}
+	perApp := len(configs) * len(threadSet)
 	for i, app := range apps {
 		t := &metrics.Table{
 			Title:   fmt.Sprintf("%s: GC time (s) vs GC threads", app.Name),
 			Columns: []string{"threads", "vanilla", "+writecache", "+all"},
 		}
 		results := make(map[string]map[int]float64)
-		for _, cfg := range configs {
+		for ci, cfg := range configs {
 			results[cfg.label] = make(map[int]float64)
-			for _, th := range threadSet {
-				res, _, err := runOne(runSpec{
-					app: app, heapKind: memsim.NVM, opt: cfg.opt,
-					threads: th, scale: p.scale(), seed: p.seed() + uint64(i),
-				})
-				if err != nil {
-					return nil, err
-				}
-				results[cfg.label][th] = seconds(res.GC)
+			for ti, th := range threadSet {
+				results[cfg.label][th] = seconds(outs[i*perApp+ci*len(threadSet)+ti].res.GC)
 			}
 		}
 		for _, th := range threadSet {
@@ -99,28 +109,24 @@ func Fig14(p Params) (*Report, error) {
 		Title:   "PS GC time (s)",
 		Columns: []string{"app", "vanilla", "no-prefetch", "+all", "+all speedup", "prefetch gain"},
 	}
-	var speedups, prefetchGain []float64
+	var specs []runSpec
 	for i, app := range apps {
-		seed := p.seed() + uint64(i)
-		base := runSpec{app: app, heapKind: memsim.NVM, ps: true, threads: threads, scale: p.scale(), seed: seed}
-
-		vanilla, _, err := runOne(base)
-		if err != nil {
-			return nil, err
-		}
+		base := runSpec{app: app, heapKind: memsim.NVM, ps: true, threads: threads, scale: p.scale(), seed: p.seed() + uint64(i)}
 		npSpec := base
 		npSpec.opt = gc.Optimized()
 		npSpec.opt.Prefetch = false
-		noPrefetch, _, err := runOne(npSpec)
-		if err != nil {
-			return nil, err
-		}
 		allSpec := base
 		allSpec.opt = gc.Optimized()
-		all, _, err := runOne(allSpec)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs, base, npSpec, allSpec)
+	}
+	outs, err := runAll(p, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	var speedups, prefetchGain []float64
+	for i, app := range apps {
+		vanilla, noPrefetch, all := outs[3*i].res, outs[3*i+1].res, outs[3*i+2].res
 
 		sp := ratio(float64(vanilla.GC), float64(all.GC))
 		pg := ratio(float64(noPrefetch.GC), float64(all.GC)) - 1

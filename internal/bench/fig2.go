@@ -7,6 +7,7 @@ import (
 	"nvmgc/internal/gc"
 	"nvmgc/internal/memsim"
 	"nvmgc/internal/metrics"
+	"nvmgc/internal/par"
 	"nvmgc/internal/workload"
 )
 
@@ -53,10 +54,11 @@ func traceTable(title string, m *memsim.Machine, dev *memsim.Device, from, to me
 
 // bandwidthTraceFor runs an app with tracing enabled and returns the
 // machine and run window [start, end) of the mutation phase.
-func bandwidthTraceFor(app string, kind memsim.Kind, opt gc.Options, threads int, scale float64, seed uint64) (*memsim.Machine, memsim.Time, memsim.Time, error) {
+func bandwidthTraceFor(app string, kind memsim.Kind, opt gc.Options, threads int, p Params) (*memsim.Machine, memsim.Time, memsim.Time, error) {
 	res, m, err := runOne(runSpec{
 		app: workload.ByName(app), heapKind: kind, opt: opt,
-		threads: threads, scale: scale, seed: seed, trace: true,
+		threads: threads, scale: p.scale(), seed: p.seed(), trace: true,
+		eager: p.EagerYield,
 	})
 	if err != nil {
 		return nil, 0, 0, err
@@ -91,11 +93,20 @@ func bandwidthFigure(id, app string, scalability bool, p Params) (*Report, error
 	}
 	rep := &Report{ID: id, Title: "Bandwidth statistics for " + app}
 
-	for _, kind := range []memsim.Kind{memsim.DRAM, memsim.NVM} {
-		m, start, end, err := bandwidthTraceFor(app, kind, gc.Vanilla(), threads, p.scale(), p.seed())
-		if err != nil {
-			return nil, err
-		}
+	kinds := []memsim.Kind{memsim.DRAM, memsim.NVM}
+	type traceOut struct {
+		m          *memsim.Machine
+		start, end memsim.Time
+	}
+	traces, err := par.Map(len(kinds), p.Parallel, func(i int) (traceOut, error) {
+		m, start, end, err := bandwidthTraceFor(app, kinds[i], gc.Vanilla(), threads, p)
+		return traceOut{m: m, start: start, end: end}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, kind := range kinds {
+		m, start, end := traces[ki].m, traces[ki].start, traces[ki].end
 		dev := m.Device(kind)
 		rep.Tables = append(rep.Tables, traceTable(
 			fmt.Sprintf("(%s) %s bandwidth atop %v", map[memsim.Kind]string{memsim.DRAM: "a", memsim.NVM: "b"}[kind], app, kind),
@@ -120,23 +131,31 @@ func bandwidthFigure(id, app string, scalability bool, p Params) (*Report, error
 	}
 
 	if scalability {
-		for _, kind := range []memsim.Kind{memsim.NVM, memsim.DRAM} {
-			threadSet := []int{8, 20, 40}
-			if p.Quick {
-				threadSet = []int{8, 20}
+		threadSet := []int{8, 20, 40}
+		if p.Quick {
+			threadSet = []int{8, 20}
+		}
+		scaleKinds := []memsim.Kind{memsim.NVM, memsim.DRAM}
+		var specs []runSpec
+		for _, kind := range scaleKinds {
+			for _, th := range threadSet {
+				specs = append(specs, runSpec{
+					app: workload.ByName(app), heapKind: kind, opt: gc.Vanilla(),
+					threads: th, scale: p.scale(), seed: p.seed(),
+				})
 			}
+		}
+		outs, err := runAll(p, specs)
+		if err != nil {
+			return nil, err
+		}
+		for ki, kind := range scaleKinds {
 			t := &metrics.Table{
 				Title:   fmt.Sprintf("(%s) bandwidth vs scalability (%v)", map[memsim.Kind]string{memsim.NVM: "c", memsim.DRAM: "d"}[kind], kind),
 				Columns: []string{"threads", "avg GC bandwidth (MB/s)", "GC time (s)"},
 			}
-			for _, th := range threadSet {
-				res, _, err := runOne(runSpec{
-					app: workload.ByName(app), heapKind: kind, opt: gc.Vanilla(),
-					threads: th, scale: p.scale(), seed: p.seed(),
-				})
-				if err != nil {
-					return nil, err
-				}
+			for ti, th := range threadSet {
+				res := outs[ki*len(threadSet)+ti].res
 				bw := 0.0
 				if kind == memsim.NVM {
 					bw = gcBandwidthMBps(res.Collections)

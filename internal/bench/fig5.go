@@ -6,6 +6,7 @@ import (
 	"nvmgc/internal/gc"
 	"nvmgc/internal/memsim"
 	"nvmgc/internal/metrics"
+	"nvmgc/internal/workload"
 )
 
 // Fig5 reproduces Figure 5: GC time for all 26 applications under
@@ -22,40 +23,31 @@ func Fig5(p Params) (*Report, error) {
 		Columns: []string{"app", "vanilla", "+writecache", "+all",
 			"vanilla-dram", "young-gen-dram", "+all speedup"},
 	}
-	var spAll, spWC, gapVanilla, gapOpt []float64
-	improved := 0
+	specs := make([]runSpec, 0, 5*len(apps))
 	for i, app := range apps {
 		seed := p.seed() + uint64(i)
 		base := runSpec{app: app, heapKind: memsim.NVM, threads: threads, scale: p.scale(), seed: seed}
 
-		vanilla, _, err := runOne(base)
-		if err != nil {
-			return nil, err
-		}
 		wcSpec := base
 		wcSpec.opt = gc.WithWriteCache()
-		wc, _, err := runOne(wcSpec)
-		if err != nil {
-			return nil, err
-		}
 		allSpec := base
 		allSpec.opt = gc.Optimized()
-		all, _, err := runOne(allSpec)
-		if err != nil {
-			return nil, err
-		}
 		dramSpec := base
 		dramSpec.heapKind = memsim.DRAM
-		dram, _, err := runOne(dramSpec)
-		if err != nil {
-			return nil, err
-		}
 		ygSpec := base
 		ygSpec.youngOnDRAM = true
-		yg, _, err := runOne(ygSpec)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs, base, wcSpec, allSpec, dramSpec, ygSpec)
+	}
+	outs, err := runAll(p, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	var spAll, spWC, gapVanilla, gapOpt []float64
+	improved := 0
+	for i, app := range apps {
+		vanilla, wc, all := outs[5*i].res, outs[5*i+1].res, outs[5*i+2].res
+		dram, yg := outs[5*i+3].res, outs[5*i+4].res
 
 		sp := ratio(float64(vanilla.GC), float64(all.GC))
 		// Apps whose configuration triggers no GC at the chosen scale
@@ -98,20 +90,13 @@ func Fig6(p Params) (*Report, error) {
 		Title:   fmt.Sprintf("Average NVM bandwidth during GC (MB/s), %d GC threads", threads),
 		Columns: []string{"app", "G1-Vanilla", "G1-Opt", "improvement"},
 	}
+	outs, err := runAll(p, vanillaOptPairs(apps, threads, p))
+	if err != nil {
+		return nil, err
+	}
 	var imps, sparkImps []float64
 	for i, app := range apps {
-		seed := p.seed() + uint64(i)
-		base := runSpec{app: app, heapKind: memsim.NVM, threads: threads, scale: p.scale(), seed: seed}
-		vanilla, _, err := runOne(base)
-		if err != nil {
-			return nil, err
-		}
-		optSpec := base
-		optSpec.opt = gc.Optimized()
-		opt, _, err := runOne(optSpec)
-		if err != nil {
-			return nil, err
-		}
+		vanilla, opt := outs[2*i].res, outs[2*i+1].res
 		bv := gcBandwidthMBps(vanilla.Collections)
 		bo := gcBandwidthMBps(opt.Collections)
 		imp := ratio(bo, bv) - 1
@@ -144,20 +129,13 @@ func Fig9(p Params) (*Report, error) {
 		Title:   "Application execution time (s)",
 		Columns: []string{"app", "G1-Vanilla", "G1-Opt", "reduction"},
 	}
+	outs, err := runAll(p, vanillaOptPairs(apps, threads, p))
+	if err != nil {
+		return nil, err
+	}
 	var sparkRed []float64
 	for i, app := range apps {
-		seed := p.seed() + uint64(i)
-		base := runSpec{app: app, heapKind: memsim.NVM, threads: threads, scale: p.scale(), seed: seed}
-		vanilla, _, err := runOne(base)
-		if err != nil {
-			return nil, err
-		}
-		optSpec := base
-		optSpec.opt = gc.Optimized()
-		opt, _, err := runOne(optSpec)
-		if err != nil {
-			return nil, err
-		}
+		vanilla, opt := outs[2*i].res, outs[2*i+1].res
 		red := 1 - ratio(float64(opt.Total), float64(vanilla.Total))
 		if app.Suite == "spark" {
 			sparkRed = append(sparkRed, red)
@@ -171,6 +149,19 @@ func Fig9(p Params) (*Report, error) {
 			100*minOf(sparkRed), 100*maxOf(sparkRed)))
 	}
 	return rep, nil
+}
+
+// vanillaOptPairs builds the (vanilla, optimized) spec pair per app used
+// by the figures that compare the two configurations.
+func vanillaOptPairs(apps []workload.Profile, threads int, p Params) []runSpec {
+	specs := make([]runSpec, 0, 2*len(apps))
+	for i, app := range apps {
+		base := runSpec{app: app, heapKind: memsim.NVM, threads: threads, scale: p.scale(), seed: p.seed() + uint64(i)}
+		optSpec := base
+		optSpec.opt = gc.Optimized()
+		specs = append(specs, base, optSpec)
+	}
+	return specs
 }
 
 func maxOf(v []float64) float64 {

@@ -30,51 +30,63 @@ func Fig7(p Params) (*Report, error) {
 		rows = 8
 	}
 
-	rep := &Report{ID: "fig7", Title: "Split NVM bandwidth during GC"}
+	configs := []struct {
+		label string
+		opt   gc.Options
+	}{
+		{"optimized", gc.Optimized()},
+		{"vanilla", gc.Vanilla()},
+	}
+	var specs []runSpec
+	var labels []string
+	var specApps []string
 	for i, app := range apps {
-		for _, cfg := range []struct {
-			label string
-			opt   gc.Options
-		}{
-			{"optimized", gc.Optimized()},
-			{"vanilla", gc.Vanilla()},
-		} {
-			res, m, err := runOne(runSpec{
+		for _, cfg := range configs {
+			specs = append(specs, runSpec{
 				app: workload.ByName(app), heapKind: memsim.NVM, opt: cfg.opt,
 				threads: threads, scale: p.scale(), seed: p.seed() + uint64(i), trace: true,
 			})
-			if err != nil {
-				return nil, err
-			}
-			// Pick the longest GC pause and plot a window around it.
-			pauses := cassandra.PauseIntervals(m, m.Now()-res.Total, m.Now())
-			if len(pauses) == 0 {
-				rep.Notes = append(rep.Notes, fmt.Sprintf("%s/%s: no GC observed", app, cfg.label))
-				continue
-			}
-			longest := pauses[0]
-			for _, pi := range pauses {
-				if pi.End-pi.Start > longest.End-longest.Start {
-					longest = pi
-				}
-			}
-			pad := (longest.End - longest.Start) / 5
-			rep.Tables = append(rep.Tables, traceTable(
-				fmt.Sprintf("%s (%s): NVM bandwidth around the longest GC", app, cfg.label),
-				m, m.NVM, longest.Start-pad, longest.End+pad, rows))
-
-			r, w, _ := m.NVM.Trace().Window(longest.Start, longest.End)
-			var s gc.CollectionStats
-			for _, c := range res.Collections {
-				if c.Pause == longest.End-longest.Start {
-					s = c
-					break
-				}
-			}
-			rep.Notes = append(rep.Notes, fmt.Sprintf(
-				"%s/%s: during longest GC read %.0f MB/s write %.0f MB/s; read-mostly %.1fms write-only %.1fms",
-				app, cfg.label, r, w, ms(s.ReadMostly), ms(s.WriteOnly)))
+			labels = append(labels, cfg.label)
+			specApps = append(specApps, app)
 		}
+	}
+	outs, err := runAll(p, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{ID: "fig7", Title: "Split NVM bandwidth during GC"}
+	for si := range specs {
+		app, label := specApps[si], labels[si]
+		res, m := outs[si].res, outs[si].m
+		// Pick the longest GC pause and plot a window around it.
+		pauses := cassandra.PauseIntervals(m, m.Now()-res.Total, m.Now())
+		if len(pauses) == 0 {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%s/%s: no GC observed", app, label))
+			continue
+		}
+		longest := pauses[0]
+		for _, pi := range pauses {
+			if pi.End-pi.Start > longest.End-longest.Start {
+				longest = pi
+			}
+		}
+		pad := (longest.End - longest.Start) / 5
+		rep.Tables = append(rep.Tables, traceTable(
+			fmt.Sprintf("%s (%s): NVM bandwidth around the longest GC", app, label),
+			m, m.NVM, longest.Start-pad, longest.End+pad, rows))
+
+		r, w, _ := m.NVM.Trace().Window(longest.Start, longest.End)
+		var s gc.CollectionStats
+		for _, c := range res.Collections {
+			if c.Pause == longest.End-longest.Start {
+				s = c
+				break
+			}
+		}
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"%s/%s: during longest GC read %.0f MB/s write %.0f MB/s; read-mostly %.1fms write-only %.1fms",
+			app, label, r, w, ms(s.ReadMostly), ms(s.WriteOnly)))
 	}
 	return rep, nil
 }

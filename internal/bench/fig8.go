@@ -7,6 +7,7 @@ import (
 	"nvmgc/internal/gc"
 	"nvmgc/internal/memsim"
 	"nvmgc/internal/metrics"
+	"nvmgc/internal/par"
 	"nvmgc/internal/workload"
 )
 
@@ -27,34 +28,43 @@ func Fig8(p Params) (*Report, error) {
 	}
 
 	rep := &Report{ID: "fig8", Title: "Tail latency reduction for Cassandra"}
+	// One independent machine per (phase, collector) curve; fan the four
+	// curves out over the host pool.
+	type curveJob struct {
+		phase cassandra.Phase
+		opt   gc.Options
+	}
+	var jobs []curveJob
 	for _, phase := range phases {
-		curve := func(opt gc.Options) ([]cassandra.StressResult, error) {
-			m := memsim.NewMachine(machineConfig(false))
-			h, err := newHeapFor(m, runSpec{heapKind: memsim.NVM})
-			if err != nil {
-				return nil, err
-			}
-			col, err := gc.NewG1(h, opt)
-			if err != nil {
-				return nil, err
-			}
-			pauses, window, err := cassandra.RunPhase(col, phase, workload.Config{
-				GCThreads: threads, Scale: p.scale(), Seed: p.seed(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			rs := cassandra.Stress(pauses, window, phase, throughputs, p.seed())
-			return rs, cassandra.Validate(rs)
-		}
-		vanilla, err := curve(gc.Vanilla())
+		jobs = append(jobs, curveJob{phase, gc.Vanilla()}, curveJob{phase, gc.Optimized()})
+	}
+	curves, err := par.Map(len(jobs), p.Parallel, func(i int) ([]cassandra.StressResult, error) {
+		job := jobs[i]
+		mc := machineConfig(false)
+		mc.EagerYield = p.EagerYield
+		m := memsim.NewMachine(mc)
+		h, err := newHeapFor(m, runSpec{heapKind: memsim.NVM})
 		if err != nil {
 			return nil, err
 		}
-		opt, err := curve(gc.Optimized())
+		col, err := gc.NewG1(h, job.opt)
 		if err != nil {
 			return nil, err
 		}
+		pauses, window, err := cassandra.RunPhase(col, job.phase, workload.Config{
+			GCThreads: threads, Scale: p.scale(), Seed: p.seed(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rs := cassandra.Stress(pauses, window, job.phase, throughputs, p.seed())
+		return rs, cassandra.Validate(rs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, phase := range phases {
+		vanilla, opt := curves[2*pi], curves[2*pi+1]
 
 		t := &metrics.Table{
 			Title: fmt.Sprintf("%s operations: latency (ms) vs throughput", phase.Name),

@@ -6,6 +6,7 @@ import (
 
 	"nvmgc/internal/memsim"
 	"nvmgc/internal/metrics"
+	"nvmgc/internal/par"
 )
 
 // PrefetchTable reproduces the Section 4.3 micro-benchmark table: a large
@@ -26,7 +27,9 @@ func PrefetchTable(p Params) (*Report, error) {
 	)
 
 	run := func(kind memsim.Kind, prefetch bool) float64 {
-		m := memsim.NewMachine(machineConfig(false))
+		mc := machineConfig(false)
+		mc.EagerYield = p.EagerYield
+		m := memsim.NewMachine(mc)
 		dev := m.Device(kind)
 		rng := rand.New(rand.NewPCG(p.seed(), 0xF00D))
 		idx := make([]uint64, accesses)
@@ -51,10 +54,20 @@ func PrefetchTable(p Params) (*Report, error) {
 		Title:   "Random-access micro-benchmark (read+update), with/without prefetch",
 		Columns: []string{"configuration", "result (s)"},
 	}
-	dn := run(memsim.DRAM, false)
-	dp := run(memsim.DRAM, true)
-	nn := run(memsim.NVM, false)
-	np := run(memsim.NVM, true)
+	cfgs := []struct {
+		kind     memsim.Kind
+		prefetch bool
+	}{
+		{memsim.DRAM, false}, {memsim.DRAM, true},
+		{memsim.NVM, false}, {memsim.NVM, true},
+	}
+	times, err := par.Map(len(cfgs), p.Parallel, func(i int) (float64, error) {
+		return run(cfgs[i].kind, cfgs[i].prefetch), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dn, dp, nn, np := times[0], times[1], times[2], times[3]
 	t.AddRow("DRAM-noprefetch", dn)
 	t.AddRow("DRAM-prefetch", dp)
 	t.AddRow("NVM-noprefetch", nn)

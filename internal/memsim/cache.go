@@ -25,6 +25,12 @@ type prefetchEntry struct {
 	valid   bool
 }
 
+// pbufKey identifies a staged line for the O(1) prefetch-buffer index.
+type pbufKey struct {
+	dev *Device
+	tag uint64
+}
+
 // Cache is a shared, set-associative, write-allocate/write-back last-level
 // cache model sitting in front of all devices. Dirty evictions generate
 // asynchronous device writes (charged to the device channel only).
@@ -38,13 +44,17 @@ type Cache struct {
 	lines      []cacheLine // numSets * assoc
 	hitLatency Time
 
-	pbuf     [prefetchBufferSize]prefetchEntry
+	pbuf [prefetchBufferSize]prefetchEntry
+	// pbufIdx maps a staged (device, line) to its slot, replacing the
+	// O(prefetchBufferSize) linear scans on every lookup/take.
+	pbufIdx  map[pbufKey]int
 	pbufNext int
 
-	hits       int64
-	misses     int64
-	writebacks int64
-	promoted   int64 // prefetch-buffer hits promoted into the cache
+	hits           int64
+	misses         int64
+	writebacks     int64
+	promoted       int64 // prefetch-buffer hits promoted into the cache
+	pbufOverwrites int64 // still-in-flight entries lost to FIFO wrap
 }
 
 // NewCache creates a cache with the given capacity in bytes and
@@ -65,6 +75,7 @@ func NewCache(capacity int64, assoc int, hitLatency Time) *Cache {
 		setMask:    uint64(n - 1),
 		lines:      make([]cacheLine, n*assoc),
 		hitLatency: hitLatency,
+		pbufIdx:    make(map[pbufKey]int, prefetchBufferSize),
 	}
 }
 
@@ -81,33 +92,32 @@ type CacheStats struct {
 	// PrefetchPromotions counts demand accesses satisfied from the
 	// prefetch staging buffer.
 	PrefetchPromotions int64
+	// PrefetchOverwrites counts still-in-flight staged lines that were
+	// overwritten by newer prefetches on FIFO wrap — useful-prefetch loss
+	// that a too-aggressive prefetch distance causes silently.
+	PrefetchOverwrites int64
 }
 
 // Stats returns a snapshot of cumulative hit/miss counters.
 func (c *Cache) Stats() CacheStats {
-	return CacheStats{Hits: c.hits, Misses: c.misses, Writebacks: c.writebacks, PrefetchPromotions: c.promoted}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Writebacks: c.writebacks,
+		PrefetchPromotions: c.promoted, PrefetchOverwrites: c.pbufOverwrites}
 }
 
 // pbufTake removes and returns the prefetch-buffer entry for a line.
 func (c *Cache) pbufTake(dev *Device, lineAddr uint64) (Time, bool) {
-	for i := range c.pbuf {
-		e := &c.pbuf[i]
-		if e.valid && e.dev == dev && e.tag == lineAddr {
-			e.valid = false
-			return e.readyAt, true
-		}
+	i, ok := c.pbufIdx[pbufKey{dev, lineAddr}]
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	delete(c.pbufIdx, pbufKey{dev, lineAddr})
+	c.pbuf[i].valid = false
+	return c.pbuf[i].readyAt, true
 }
 
 func (c *Cache) pbufContains(dev *Device, lineAddr uint64) bool {
-	for i := range c.pbuf {
-		e := &c.pbuf[i]
-		if e.valid && e.dev == dev && e.tag == lineAddr {
-			return true
-		}
-	}
-	return false
+	_, ok := c.pbufIdx[pbufKey{dev, lineAddr}]
+	return ok
 }
 
 func (c *Cache) set(lineAddr uint64) []cacheLine {
@@ -140,18 +150,17 @@ func (c *Cache) touchLine(dev *Device, lineAddr uint64, now Time, write, seq boo
 	if readyAt, ok := c.pbufTake(dev, lineAddr); ok {
 		c.promoted++
 		c.hits++
-		c.install(dev, lineAddr, now, write, seq, readyAt)
+		c.installInSet(set, dev, lineAddr, now, write, seq, readyAt)
 		return true, readyAt
 	}
 	c.misses++
-	c.install(dev, lineAddr, now, write, seq, 0)
+	c.installInSet(set, dev, lineAddr, now, write, seq, 0)
 	return false, 0
 }
 
-// install places a line into its set, evicting the LRU way (with
-// writeback if dirty).
-func (c *Cache) install(dev *Device, lineAddr uint64, now Time, write, seq bool, readyAt Time) {
-	set := c.set(lineAddr)
+// installInSet places a line into the given set (the caller has already
+// located it), evicting the LRU way with writeback if dirty.
+func (c *Cache) installInSet(set []cacheLine, dev *Device, lineAddr uint64, now Time, write, seq bool, readyAt Time) {
 	victim := &set[0]
 	for i := range set {
 		l := &set[i]
@@ -172,21 +181,57 @@ func (c *Cache) install(dev *Device, lineAddr uint64, now Time, write, seq bool,
 
 // touchRange probes every line spanned by [addr, addr+n) and returns the
 // number of missing lines plus the latest ready time among hit lines.
+//
+// Contiguous lines map to consecutive sets, so the set index is advanced
+// incrementally instead of being recomputed per line, and the all-resident
+// fast path — every line hits — stays inside the probe loop and never
+// consults the prefetch buffer or the eviction logic.
 func (c *Cache) touchRange(dev *Device, addr uint64, n int64, now Time, write, seq bool) (missLines int, ready Time) {
 	if n <= 0 {
 		return 0, 0
 	}
 	first := addr &^ (LineSize - 1)
-	last := (addr + uint64(n) - 1) &^ (LineSize - 1)
-	for la := first; ; la += LineSize {
-		hit, r := c.touchLine(dev, la, now, write, seq)
-		if !hit {
-			missLines++
-		} else if r > ready {
-			ready = r
+	nLines := int((addr+uint64(n)-1)/LineSize-first/LineSize) + 1
+	assoc := c.assoc
+	base := int((first/LineSize)&c.setMask) * assoc
+	wrap := c.numSets * assoc
+	la := first
+	for k := 0; k < nLines; k++ {
+		set := c.lines[base : base+assoc]
+		hit := false
+		for i := range set {
+			l := &set[i]
+			if l.tag == la && l.valid && l.dev == dev {
+				l.lastUse = now
+				if write {
+					l.dirty = true
+					l.seqDirty = seq
+				}
+				c.hits++
+				if l.readyAt > ready {
+					ready = l.readyAt
+				}
+				hit = true
+				break
+			}
 		}
-		if la == last {
-			break
+		if !hit {
+			if readyAt, ok := c.pbufTake(dev, la); ok {
+				c.promoted++
+				c.hits++
+				c.installInSet(set, dev, la, now, write, seq, readyAt)
+				if readyAt > ready {
+					ready = readyAt
+				}
+			} else {
+				c.misses++
+				c.installInSet(set, dev, la, now, write, seq, 0)
+				missLines++
+			}
+		}
+		la += LineSize
+		if base += assoc; base == wrap {
+			base = 0
 		}
 	}
 	return missLines, ready
@@ -194,7 +239,10 @@ func (c *Cache) touchRange(dev *Device, addr uint64, n int64, now Time, write, s
 
 // installPrefetch stages all missing lines of the range in the prefetch
 // buffer, available at readyAt. Lines already cached or staged are left
-// alone. Staged lines are clean, so buffer overwrites are silent.
+// alone. Staged lines are clean, so a FIFO wrap can drop a still-valid
+// in-flight entry without a writeback — correct, but it silently wastes
+// the device bandwidth the dropped prefetch consumed, so every such
+// overwrite is counted in CacheStats.PrefetchOverwrites.
 func (c *Cache) installPrefetch(dev *Device, addr uint64, n int64, now, readyAt Time) {
 	if n <= 0 {
 		return
@@ -203,7 +251,13 @@ func (c *Cache) installPrefetch(dev *Device, addr uint64, n int64, now, readyAt 
 	last := (addr + uint64(n) - 1) &^ (LineSize - 1)
 	for la := first; ; la += LineSize {
 		if !c.present(dev, la) && !c.pbufContains(dev, la) {
-			c.pbuf[c.pbufNext] = prefetchEntry{dev: dev, tag: la, readyAt: readyAt, valid: true}
+			slot := &c.pbuf[c.pbufNext]
+			if slot.valid {
+				c.pbufOverwrites++
+				delete(c.pbufIdx, pbufKey{slot.dev, slot.tag})
+			}
+			*slot = prefetchEntry{dev: dev, tag: la, readyAt: readyAt, valid: true}
+			c.pbufIdx[pbufKey{dev, la}] = c.pbufNext
 			c.pbufNext = (c.pbufNext + 1) % prefetchBufferSize
 		}
 		if la == last {
@@ -231,14 +285,26 @@ func (c *Cache) missingLines(dev *Device, addr uint64, n int64) int {
 		return 0
 	}
 	first := addr &^ (LineSize - 1)
-	last := (addr + uint64(n) - 1) &^ (LineSize - 1)
+	nLines := int((addr+uint64(n)-1)/LineSize-first/LineSize) + 1
+	setIdx := int((first / LineSize) & c.setMask)
 	miss := 0
-	for la := first; ; la += LineSize {
-		if !c.present(dev, la) && !c.pbufContains(dev, la) {
+	la := first
+	for k := 0; k < nLines; k++ {
+		set := c.lines[setIdx*c.assoc : (setIdx+1)*c.assoc]
+		cached := false
+		for i := range set {
+			l := &set[i]
+			if l.valid && l.dev == dev && l.tag == la {
+				cached = true
+				break
+			}
+		}
+		if !cached && !c.pbufContains(dev, la) {
 			miss++
 		}
-		if la == last {
-			break
+		la += LineSize
+		if setIdx++; setIdx == c.numSets {
+			setIdx = 0
 		}
 	}
 	return miss

@@ -150,3 +150,42 @@ func TestCacheLRUWithinSet(t *testing.T) {
 		t.Fatal("LRU line should have been evicted")
 	}
 }
+
+func TestPrefetchOverwriteOnWrapIsCounted(t *testing.T) {
+	c := newTestCache()
+	d := NewDevice("nvm", OptaneProfile(), 0)
+	// Stage exactly prefetchBufferSize in-flight lines, then one more:
+	// the FIFO wraps and must overwrite the oldest still-valid entry.
+	base := uint64(1 << 30)
+	for i := 0; i < prefetchBufferSize; i++ {
+		c.installPrefetch(d, base+uint64(i)*LineSize, 1, 0, 500)
+	}
+	if got := c.Stats().PrefetchOverwrites; got != 0 {
+		t.Fatalf("no wrap yet, PrefetchOverwrites = %d", got)
+	}
+	extra := base + prefetchBufferSize*LineSize
+	c.installPrefetch(d, extra, 1, 0, 500)
+	if got := c.Stats().PrefetchOverwrites; got != 1 {
+		t.Fatalf("PrefetchOverwrites = %d, want 1", got)
+	}
+	// The overwritten (oldest) line is gone from the staging index...
+	if c.pbufContains(d, base) {
+		t.Fatal("overwritten line still indexed")
+	}
+	// ...the newcomer is staged...
+	if !c.pbufContains(d, extra) {
+		t.Fatal("new line not staged")
+	}
+	// ...and a demand access to the victim misses (the prefetch was wasted).
+	if hit, _ := c.touchLine(d, base, 600, false, false); hit {
+		t.Fatal("victim of the overwrite must miss")
+	}
+	// Taking an entry frees its slot without counting an overwrite.
+	before := c.Stats().PrefetchOverwrites
+	if _, ok := c.pbufTake(d, extra); !ok {
+		t.Fatal("pbufTake failed")
+	}
+	if got := c.Stats().PrefetchOverwrites; got != before {
+		t.Fatalf("pbufTake must not count overwrites, got %d", got)
+	}
+}

@@ -1,6 +1,9 @@
 package memsim
 
-import "container/heap"
+import (
+	"container/heap"
+	"math"
+)
 
 // Config parameterizes a simulated machine.
 type Config struct {
@@ -12,6 +15,10 @@ type Config struct {
 	LLCHitLatency Time
 
 	TraceBucket Time // bandwidth trace bucket width; 0 disables tracing
+
+	// EagerYield starts the machine in the reference scheduling mode that
+	// yields before every device-visible operation (see SetEagerYield).
+	EagerYield bool
 }
 
 // DefaultConfig returns the calibrated default machine: server DRAM, six
@@ -44,19 +51,29 @@ type Machine struct {
 
 	now   Time
 	marks []PhaseMark
+
+	eagerYield bool
 }
 
 // NewMachine builds a machine from the config.
 func NewMachine(cfg Config) *Machine {
 	return &Machine{
-		DRAM: NewDevice("dram", cfg.DRAM, cfg.TraceBucket),
-		NVM:  NewDevice("nvm", cfg.NVM, cfg.TraceBucket),
-		LLC:  NewCache(cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCHitLatency),
+		DRAM:       NewDevice("dram", cfg.DRAM, cfg.TraceBucket),
+		NVM:        NewDevice("nvm", cfg.NVM, cfg.TraceBucket),
+		LLC:        NewCache(cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCHitLatency),
+		eagerYield: cfg.EagerYield,
 	}
 }
 
 // Now returns the machine's virtual clock (the end of the last phase).
 func (m *Machine) Now() Time { return m.now }
+
+// SetEagerYield switches the scheduler back to the pre-lookahead behavior
+// of yielding before every device-visible operation. Virtual-time results
+// are identical either way (the golden determinism tests assert this); the
+// eager mode exists as the reference implementation and costs two channel
+// handoffs per operation instead of one per horizon crossing.
+func (m *Machine) SetEagerYield(on bool) { m.eagerYield = on }
 
 // Mark records a labeled point at the current virtual time.
 func (m *Machine) Mark(label string) {
@@ -83,10 +100,19 @@ func (m *Machine) Device(k Kind) *Device {
 // and device operations are globally ordered by issue time, so the
 // simulation is deterministic. Worker bodies must not block on anything
 // other than the scheduler (use Worker.Spin in busy-wait loops).
+//
+// The scheduler uses event-horizon lookahead: the worker it resumes is
+// handed the virtual time (and id, for tie-breaks) of the next-earliest
+// runnable worker, and keeps executing without a handoff for as long as its
+// own clock stays strictly ahead of that horizon. Every device-visible
+// operation it issues in that window is still the globally earliest
+// possible one, so the operation order — and therefore every virtual-time
+// result — is bit-identical to yielding before each operation
+// (SetEagerYield restores the reference behavior).
 func (m *Machine) Run(n int, body func(*Worker)) Time {
 	start := m.now
 	if n <= 1 {
-		w := &Worker{id: 0, now: start, m: m}
+		w := &Worker{id: 0, now: start, m: m, horizon: math.MaxInt64}
 		body(w)
 		if w.now > m.now {
 			m.now = w.now
@@ -94,32 +120,31 @@ func (m *Machine) Run(n int, body func(*Worker)) Time {
 		return m.now - start
 	}
 
-	s := &scheduler{control: make(chan schedEvent)}
-	q := make(workerQueue, 0, n)
+	s := &scheduler{done: make(chan *Worker, n), q: make(workerQueue, 0, n)}
 	for i := 0; i < n; i++ {
 		w := &Worker{id: i, now: start, m: m, sched: s, resume: make(chan struct{})}
 		go func(w *Worker) {
 			<-w.resume
 			body(w)
-			s.control <- schedEvent{w: w, done: true}
+			w.finish()
 		}(w)
-		q = append(q, w)
+		s.q = append(s.q, w)
 	}
-	heap.Init(&q)
+	heap.Init(&s.q)
+
+	// Hand the CPU to the earliest worker; from here on control passes
+	// worker-to-worker (yield/finish pop the successor and resume it
+	// directly), so a handoff costs one channel hop, not a round-trip
+	// through this goroutine. Run only collects completions.
+	first := heap.Pop(&s.q).(*Worker)
+	first.setHorizon()
+	first.resume <- struct{}{}
 
 	end := start
-	running := n
-	for running > 0 {
-		w := heap.Pop(&q).(*Worker)
-		w.resume <- struct{}{}
-		ev := <-s.control
-		if ev.done {
-			running--
-			if ev.w.now > end {
-				end = ev.w.now
-			}
-		} else {
-			heap.Push(&q, ev.w)
+	for i := 0; i < n; i++ {
+		w := <-s.done
+		if w.now > end {
+			end = w.now
 		}
 	}
 	if end > m.now {
@@ -128,13 +153,13 @@ func (m *Machine) Run(n int, body func(*Worker)) Time {
 	return m.now - start
 }
 
-type schedEvent struct {
-	w    *Worker
-	done bool
-}
-
+// scheduler is the shared state of one parallel phase. The runnable-worker
+// heap is only ever touched by the single currently-executing worker (or
+// by Run before the phase starts), so it needs no lock; the channel
+// handoffs provide the happens-before edges.
 type scheduler struct {
-	control chan schedEvent
+	q    workerQueue
+	done chan *Worker // buffered; receives each worker as its body returns
 }
 
 // workerQueue is a min-heap of workers ordered by virtual time, ties broken

@@ -1,0 +1,83 @@
+package memsim
+
+import (
+	"testing"
+)
+
+// schedWorkload is a device-heavy phase body exercising every yield point:
+// cached reads/writes, streaming stores, prefetches and busy-wait spins,
+// with inter-worker contention on both devices and on shared LLC sets.
+func schedWorkload(m *Machine) func(*Worker) {
+	return func(w *Worker) {
+		base := uint64(w.ID()) << 22
+		for i := 0; i < 120; i++ {
+			w.Read(m.NVM, base+uint64(i*4096), 256, false)
+			w.Write(m.NVM, base+uint64(i*4096), 16, false)
+			if i%4 == 0 {
+				w.Prefetch(m.NVM, base+uint64((i+8)*4096), 128, false)
+			}
+			if i%7 == 0 {
+				w.Read(m.DRAM, uint64(i*64), 64, i%2 == 0) // shared lines
+			}
+			if i%9 == 0 {
+				w.WriteNT(m.NVM, base+1<<21+uint64(i)*256, 256)
+			}
+			if i%13 == 0 {
+				w.Spin(5)
+			}
+			w.Advance(Time(i % 3))
+		}
+	}
+}
+
+type schedSnapshot struct {
+	elapsed Time
+	now     Time
+	nvm     DeviceStats
+	dram    DeviceStats
+	llc     CacheStats
+}
+
+func runSchedWorkload(workers int, eager bool) schedSnapshot {
+	m := testMachine()
+	m.SetEagerYield(eager)
+	el := m.Run(workers, schedWorkload(m))
+	return schedSnapshot{elapsed: el, now: m.Now(), nvm: m.NVM.Stats(), dram: m.DRAM.Stats(), llc: m.LLC.Stats()}
+}
+
+// TestGoldenSchedulerDeterminism is the scheduler's golden test: the
+// event-horizon scheduler must produce bit-identical virtual times, device
+// counters and cache counters to the eager-yield reference, at every
+// worker count, and both must be self-deterministic across repeats.
+func TestGoldenSchedulerDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 16, 56} {
+		horizon := runSchedWorkload(workers, false)
+		eager := runSchedWorkload(workers, true)
+		if horizon != eager {
+			t.Errorf("workers=%d: horizon %+v != eager %+v", workers, horizon, eager)
+		}
+		if again := runSchedWorkload(workers, false); again != horizon {
+			t.Errorf("workers=%d: horizon scheduler not deterministic: %+v vs %+v", workers, horizon, again)
+		}
+	}
+}
+
+// TestHorizonSkipsHandoffs sanity-checks that the lookahead actually
+// short-circuits: a worker that stays strictly earliest must not block on
+// the scheduler channel (a livelock here would time the test out).
+func TestHorizonSkipsHandoffs(t *testing.T) {
+	m := testMachine()
+	el := m.Run(2, func(w *Worker) {
+		if w.ID() == 0 {
+			for i := 0; i < 1000; i++ {
+				w.Read(m.NVM, uint64(i)*64, 64, true)
+			}
+		} else {
+			w.Advance(10 * Second) // parks far in the future
+			w.Spin(1)
+		}
+	})
+	if el < 10*Second {
+		t.Fatalf("elapsed %d should cover the parked worker", el)
+	}
+}

@@ -1,15 +1,29 @@
 package memsim
 
+import (
+	"container/heap"
+	"math"
+)
+
 // Worker is one simulated hardware thread inside a phase. All memory
 // operations advance the worker's virtual clock; under a parallel phase
-// the worker yields to the scheduler before each device-visible operation
-// so that device queueing is processed in global time order.
+// each device-visible operation is a potential yield point, but the worker
+// only hands off to the scheduler once its clock passes the event horizon
+// (the virtual time of the next-earliest runnable worker) — until then its
+// operations are provably the globally earliest, so device queueing stays
+// processed in global time order without the channel round-trip.
 type Worker struct {
 	id     int
 	now    Time
 	m      *Machine
 	sched  *scheduler
 	resume chan struct{}
+
+	// horizon/horizonID are the virtual time and id of the next-earliest
+	// runnable worker, set by the scheduler on resume. The worker may keep
+	// executing while (now, id) < (horizon, horizonID) lexicographically.
+	horizon   Time
+	horizonID int
 }
 
 // ID returns the worker's index within its phase.
@@ -25,8 +39,58 @@ func (w *Worker) yield() {
 	if w.sched == nil {
 		return
 	}
-	w.sched.control <- schedEvent{w: w, done: false}
+	// Event horizon: while this worker is still the globally earliest
+	// (ties broken by id, matching the scheduler heap), a handoff would
+	// resume it immediately — skip the channel ops entirely.
+	if w.now < w.horizon || (w.now == w.horizon && w.id < w.horizonID) {
+		return
+	}
+	s := w.sched
+	// The heap is untouched since this worker was resumed, so its top is
+	// the horizon owner. Handing off is push(w)+pop(top), which a
+	// replace-top with one sift performs in half the heap work.
+	if len(s.q) == 0 || w.now < s.q[0].now || (w.now == s.q[0].now && w.id < s.q[0].id) {
+		// Still the earliest (only reachable under eager-yield's forced
+		// handoffs): keep running with a re-armed horizon.
+		w.setHorizon()
+		return
+	}
+	next := s.q[0]
+	s.q[0] = w
+	heap.Fix(&s.q, 0)
+	next.setHorizon()
+	next.resume <- struct{}{}
 	<-w.resume
+}
+
+// finish hands the CPU to the next runnable worker (if any) and reports
+// this worker's completion to Machine.Run.
+func (w *Worker) finish() {
+	s := w.sched
+	s.done <- w
+	if len(s.q) > 0 {
+		next := heap.Pop(&s.q).(*Worker)
+		next.setHorizon()
+		next.resume <- struct{}{}
+	}
+}
+
+// setHorizon primes the worker's event horizon from the runnable heap;
+// called while holding the (cooperative) CPU, just before this worker is
+// resumed.
+func (w *Worker) setHorizon() {
+	if w.m.eagerYield {
+		// Reference mode: an unreachable horizon forces a handoff at
+		// every yield point.
+		w.horizon, w.horizonID = math.MinInt64, -1
+		return
+	}
+	if q := w.sched.q; len(q) > 0 {
+		w.horizon, w.horizonID = q[0].now, q[0].id
+	} else {
+		// Sole runnable worker: run to completion without handoffs.
+		w.horizon, w.horizonID = math.MaxInt64, math.MaxInt
+	}
 }
 
 // Advance models CPU-only work of duration d (no scheduler yield; yields

@@ -1,0 +1,59 @@
+package par
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(4, 10) != 4 || Workers(4, 2) != 2 || Workers(1, 10) != 1 {
+		t.Fatal("explicit parallelism wrong")
+	}
+	if w := Workers(0, 100); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+	if Workers(-1, 0) != 1 {
+		t.Fatal("clamp to 1 failed")
+	}
+}
+
+func TestMapOrderIndependentOfPoolSize(t *testing.T) {
+	fn := func(i int) (int, error) { return i * i, nil }
+	serial, err := Map(50, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{2, 4, 16} {
+		got, err := Map(50, parallel, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("parallel=%d: out[%d] = %d, want %d", parallel, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	e3, e7 := errors.New("e3"), errors.New("e7")
+	err := ForEach(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Fatalf("err = %v, want e3", err)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
