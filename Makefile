@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-sim suite-quick
+.PHONY: build test verify bench bench-sim suite-quick crash-smoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ test: build
 verify: build
 	$(GO) vet ./...
 	$(GO) test -race -short -count=1 ./internal/memsim ./internal/par ./internal/bench
+
+# crash-smoke runs a reduced power-failure campaign: deterministic crash
+# points across the GC pause, post-crash recovery, and graph-isomorphism
+# verification (full sweep: gcsim -crash-sweep).
+crash-smoke: build
+	$(GO) run ./cmd/gcsim -crash-sweep -quick -threads 4
 
 # bench runs the simulator micro-benchmarks (testing.B) at the repo root.
 bench:

@@ -9,6 +9,7 @@
 //	gcsim -app naive-bayes -collector ps -config vanilla -device dram
 //	gcsim -app als -config writecache -trace
 //	gcsim -app page-rank,als,movie-lens -parallel 3
+//	gcsim -crash-sweep -threads 4
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"nvmgc/internal/bench"
 	"nvmgc/internal/gc"
 	"nvmgc/internal/gclog"
 	"nvmgc/internal/heap"
@@ -61,6 +63,9 @@ func main() {
 		fullEvery   = flag.Int("full-every", 0, "run a full GC after every N young GCs")
 		profileFile = flag.String("profile-file", "", "load a custom workload profile from a JSON file (overrides -app)")
 
+		crashSweep = flag.Bool("crash-sweep", false, "run the power-failure campaign (crash points across the GC pause x persistence configs) and exit")
+		quick      = flag.Bool("quick", false, "with -crash-sweep: a reduced smoke-sized sweep")
+
 		parallel = flag.Int("parallel", 0, "host workers for a comma-separated -app list (0 = NumCPU, 1 = serial); per-app output is identical at any setting")
 		eager    = flag.Bool("eager-yield", false, "use the reference scheduler (yield before every device op); identical results, slower")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -72,6 +77,17 @@ func main() {
 		for _, p := range workload.Profiles() {
 			fmt.Printf("%-18s %-11s survival %.2f  eden-fills %.1f\n", p.Name, p.Suite, p.Survival, p.EdenFills)
 		}
+		return
+	}
+
+	if *crashSweep {
+		rep, err := bench.CrashSweep(bench.Params{
+			Threads: *threads, Seed: *seed, Parallel: *parallel, Quick: *quick,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Render())
 		return
 	}
 

@@ -1,11 +1,19 @@
 package gc
 
 import (
+	"errors"
 	"fmt"
 
 	"nvmgc/internal/heap"
 	"nvmgc/internal/memsim"
 )
+
+// ErrCrashed is returned by Collect when an injected power failure fired
+// mid-collection: the machine halted, every GC worker unwound, and the
+// heap is left in its interrupted state. The caller materializes the
+// post-crash NVM image (memsim.Machine.MaterializeCrash) and then runs
+// the collector's Recover pass.
+var ErrCrashed = errors.New("gc: power failure injected mid-collection")
 
 // Collector is a stop-the-world copying garbage collector. Both G1 and
 // PS implement it; they additionally provide CollectMixed and CollectFull
@@ -27,6 +35,7 @@ type base struct {
 	h    *heap.Heap
 	opt  Options
 	hm   *HeaderMap
+	pl   *persistLog // nil when Persist is PersistNone
 	ps   bool
 	name string
 
@@ -44,6 +53,13 @@ func newBase(h *heap.Heap, opt Options, ps bool, name string) (*base, error) {
 	}
 	if opt.AsyncFlush && !opt.WriteCache {
 		return nil, fmt.Errorf("gc: AsyncFlush requires WriteCache")
+	}
+	if opt.Persist != PersistNone {
+		pl, err := newPersistLog(h, opt.Persist)
+		if err != nil {
+			return nil, err
+		}
+		b.pl = pl
 	}
 	return b, nil
 }
@@ -124,13 +140,19 @@ func (b *base) collect(threads int, mode gcMode, oldCands []*heap.Region, markTi
 	default:
 		cset = b.h.BeginCollection()
 	}
-	c := newCycle(b.h, b.opt, threads, b.hm, b.ps)
+	c := newCycle(b.h, b.opt, threads, b.hm, b.pl, b.ps)
 	c.full = mode == gcFull
 	c.prepare(cset)
 
 	start := m.Now()
 	m.Run(threads, c.run)
 	end := m.Now()
+	if m.Crashed() {
+		// The injected fault fired: leave the heap exactly as the crash
+		// found it (still in-collection, journal still active) for
+		// MaterializeCrash + Recover.
+		return CollectionStats{}, ErrCrashed
+	}
 	if c.err != nil {
 		return CollectionStats{}, c.err
 	}
@@ -150,6 +172,13 @@ func (b *base) collect(threads int, mode gcMode, oldCands []*heap.Region, markTi
 	s.ReadMostly = c.readMostlyEnd - start
 	s.WriteOnly = c.writeOnlyEnd - c.readMostlyEnd
 	s.Cleanup = end - c.writeOnlyEnd
+	if b.pl != nil {
+		s.Checkpoint = c.checkpointEnd - start
+		s.PersistBarrier = c.persistEnd - c.writeOnlyEnd
+		s.Cleanup = end - c.persistEnd
+		s.JournalEntries = b.pl.appended
+		s.JournalBytes = b.pl.appended * journalEntryBytes
+	}
 	s.NVM = m.NVM.Stats().Sub(nvm0)
 	s.DRAM = m.DRAM.Stats().Sub(dram0)
 	b.collections = append(b.collections, s)

@@ -106,13 +106,20 @@ type cycle struct {
 	done    bool // traversal termination detected
 	err     error
 
+	// Crash-consistency state (nil/zero when Persist is PersistNone).
+	pl            *persistLog
+	persistLines  []uint64 // dirty-line snapshot for the end-of-GC flush
+	persistSnap   bool
+	checkpointEnd memsim.Time
+	persistEnd    memsim.Time
+
 	stats CollectionStats
 
 	readMostlyEnd memsim.Time
 	writeOnlyEnd  memsim.Time
 }
 
-func newCycle(h *heap.Heap, opt Options, threads int, hm *HeaderMap, ps bool) *cycle {
+func newCycle(h *heap.Heap, opt Options, threads int, hm *HeaderMap, pl *persistLog, ps bool) *cycle {
 	c := &cycle{
 		h:           h,
 		opt:         opt,
@@ -123,6 +130,7 @@ func newCycle(h *heap.Heap, opt Options, threads int, hm *HeaderMap, ps bool) *c
 		byPhys:      make(map[int]*destRegion),
 		labWords:    (4 << 10) / heap.WordBytes,
 		directWords: (1 << 10) / heap.WordBytes,
+		pl:          pl,
 	}
 	if opt.HeaderMap && threads >= opt.headerMapMinThreads() {
 		c.hm = hm
@@ -283,6 +291,15 @@ func (c *cycle) run(w *memsim.Worker) {
 	gw := c.workers[w.ID()]
 	gw.w = w
 
+	if c.pl != nil {
+		// Checkpoint: worker 0 opens the journal and persists its header
+		// before any worker can journal (and thus mutate) anything.
+		if gw.id == 0 {
+			c.pl.begin(w)
+		}
+		c.checkpointEnd = c.bar.wait(w)
+	}
+
 	gw.scanRoots()
 	gw.drainLoop()
 	gw.finishTraversal()
@@ -296,9 +313,45 @@ func (c *cycle) run(w *memsim.Worker) {
 
 	c.writeOnlyEnd = c.bar.wait(w)
 
+	if c.pl != nil {
+		// Persist barrier: every line the collection dirtied (to-space
+		// survivors, promoted copies, slot updates) must reach the media
+		// before the journal can be committed — otherwise a later crash
+		// would find half-applied state with a dead journal. Workers flush
+		// stripes of the dirty-line snapshot in parallel; under eADR the
+		// snapshot is empty and this degenerates to the commit alone.
+		gw.persistFlush()
+		c.bar.wait(w)
+		if gw.id == 0 {
+			c.pl.commit(w)
+		}
+		c.persistEnd = c.bar.wait(w)
+	}
+
 	if c.hm != nil {
 		c.hm.ClearStripe(w, gw.id, c.threads)
 	}
+}
+
+// persistFlush CLWBs this worker's stripe of the dirty-line snapshot and
+// fences. The snapshot is taken once, by the first worker past the
+// write-only barrier (the scheduler is cooperative, so the guard is safe).
+func (gw *gcWorker) persistFlush() {
+	c := gw.c
+	if !c.persistSnap {
+		c.persistSnap = true
+		if pd := c.h.Machine().Persist(); pd != nil {
+			c.persistLines = pd.DirtyLines()
+		}
+	}
+	dev := c.h.Machine().Device(c.h.Config().HeapKind)
+	var flushed int64
+	for i := gw.id; i < len(c.persistLines); i += c.threads {
+		gw.w.CLWB(dev, c.persistLines[i])
+		flushed++
+	}
+	gw.w.PersistFence()
+	c.stats.PersistFlushedLines += flushed
 }
 
 // gcWorker is the per-thread evacuation context.
@@ -402,7 +455,7 @@ func (gw *gcWorker) processSlot(slot heap.Address) {
 		if r := h.RegionOf(ref); r != nil && r.InCSet {
 			newAddr := gw.evacuate(ref)
 			if c.err == nil && newAddr != ref {
-				gw.updateSlot(slot, newAddr) // step 4: update (random write)
+				gw.updateSlot(slot, ref, newAddr) // step 4: update (random write)
 			}
 		} else if r != nil && r.Kind == heap.RegionOld {
 			// Non-moving old target: if this slot's final home is a
@@ -426,9 +479,21 @@ func (gw *gcWorker) processSlot(slot heap.Address) {
 
 // updateSlot writes the new address and maintains remembered sets: an
 // old-space slot now pointing at a survivor region must be visible to the
-// next young collection.
-func (gw *gcWorker) updateSlot(slot, newAddr heap.Address) {
+// next young collection. Under a persistence mode, slots that survive a
+// crash logically — root slots (region nil) and slots in regions that
+// pre-date this collection — are journaled with their old value before
+// the write; slots inside regions claimed by this GC are not (recovery
+// discards those regions wholesale).
+func (gw *gcWorker) updateSlot(slot, oldAddr, newAddr heap.Address) {
 	c, h := gw.c, gw.c.h
+	if c.pl != nil {
+		if r := h.RegionOf(slot); r == nil || !r.ClaimedInGC {
+			if err := c.pl.append(gw.w, slot, oldAddr); err != nil {
+				c.fail(err)
+				return
+			}
+		}
+	}
 	h.WriteWord(gw.w, slot, newAddr)
 	finalSlot := c.finalAddrOf(slot)
 	fr := h.RegionOf(finalSlot)
@@ -546,6 +611,17 @@ func (gw *gcWorker) installForward(ref, final heap.Address, oldMark uint64) heap
 		c.stats.HeaderMapFallbacks++
 	}
 	for {
+		if c.pl != nil {
+			// Journal the pre-forwarding mark before publishing the
+			// forwarding pointer into the NVM header, so recovery can
+			// restore the from-space object's header exactly. (With the
+			// header map, forwarding state is volatile DRAM and needs no
+			// journaling — only this fallback path touches NVM.)
+			if err := c.pl.append(w, heap.MarkAddr(ref), oldMark); err != nil {
+				c.fail(err)
+				return final
+			}
+		}
 		cur, ok := h.CASWord(w, heap.MarkAddr(ref), oldMark, heap.ForwardedMark(final))
 		if ok {
 			return final

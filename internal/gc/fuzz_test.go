@@ -1,6 +1,7 @@
 package gc
 
 import (
+	"errors"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -8,6 +9,68 @@ import (
 	"nvmgc/internal/heap"
 	"nvmgc/internal/memsim"
 )
+
+// FuzzCrashRecovery drives the whole fault-injection loop from a fuzzed
+// crash point: kill the machine before the Nth NVM store of a collection
+// (with fuzzed torn-line / keep-pending media behavior and a fuzzed
+// persistence-enabled configuration), materialize the post-crash image,
+// recover, and require that (a) the post-crash scanner never calls a
+// region consistent when recovery later proves data was lost, and (b)
+// under ADR/eADR barriers recovery always reproduces the pre-GC graph.
+func FuzzCrashRecovery(f *testing.F) {
+	f.Add(int64(1), uint8(0), false, false)
+	f.Add(int64(37), uint8(1), true, false)
+	f.Add(int64(1000), uint8(2), true, true)
+	f.Add(int64(25000), uint8(3), false, true)
+	f.Add(int64(90000), uint8(2), true, false)
+	f.Fuzz(func(t *testing.T, storeN int64, cfgIdx uint8, torn, keepPending bool) {
+		ccs := crashConfigs()
+		cc := ccs[int(cfgIdx)%len(ccs)]
+		if storeN < 0 {
+			storeN = -storeN
+		}
+		storeN = storeN%(1<<17) + 1
+		h, m, g, pre := crashEnv(t, cc)
+		// The store counter accumulated the populate phase's stores; plant
+		// the crash relative to the collection's first store.
+		base := m.Persist().Stats().TrackedStores
+		m.InjectFault(memsim.FaultPlan{
+			CrashAtStore: base + storeN,
+			TornLine:     torn,
+			KeepPending:  keepPending,
+		})
+		_, err := g.Collect(4)
+		if err == nil {
+			// The collection used fewer than storeN stores: it must have
+			// completed unharmed.
+			if err := h.VerifyRecovered(pre); err != nil {
+				t.Fatalf("%s: uncrashed collection broke the graph: %v", cc.name, err)
+			}
+			return
+		}
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("%s store %d: %v", cc.name, storeN, err)
+		}
+		if _, err := m.MaterializeCrash(); err != nil {
+			t.Fatalf("%s store %d: materialize: %v", cc.name, storeN, err)
+		}
+		rep, rerr := g.Recover()
+		if rerr != nil {
+			t.Fatalf("%s store %d: recovery failed under persistence barriers: %v (report %+v)",
+				cc.name, storeN, rerr, rep)
+		}
+		if rep.Scan.Corrupt != 0 {
+			t.Fatalf("%s store %d: scanner reported %d corrupt regions under persistence barriers",
+				cc.name, storeN, rep.Scan.Corrupt)
+		}
+		if err := h.VerifyRecovered(pre); err != nil {
+			// The scanner and recovery claimed success but the graph
+			// differs: a false "consistent" report.
+			t.Fatalf("%s store %d (outcome %v): false consistency: %v",
+				cc.name, storeN, rep.Outcome, err)
+		}
+	})
+}
 
 // TestHeaderMapModel checks the header map against a plain Go map under
 // random operation sequences: a Put for a key must return either its own

@@ -140,6 +140,18 @@ func (hm *HeaderMap) PrefetchFor(w *memsim.Worker, old heap.Address) {
 	w.Prefetch(hm.h.Machine().DRAM, hm.keyAddr(idx), 16, false)
 }
 
+// Reset zeroes every entry without charging virtual time. Crash recovery
+// uses it: the DRAM-resident map does not survive a power failure, and
+// stale forwarding entries left from the interrupted collection would
+// corrupt the next one.
+func (hm *HeaderMap) Reset() {
+	for i := 0; i < hm.entries; i++ {
+		hm.h.Poke(hm.keyAddr(uint64(i)), 0)
+		hm.h.Poke(hm.valueAddr(uint64(i)), 0)
+	}
+	hm.used = 0
+}
+
 // ClearStripe zeroes the stripe of entries owned by worker id out of n,
 // charging sequential DRAM writes. All GC threads clear the map in
 // parallel at the end of a collection (Section 3.3).

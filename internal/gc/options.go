@@ -15,6 +15,42 @@
 //     (Section 4.3).
 package gc
 
+import "fmt"
+
+// Persistence selects the collector's crash-consistency mode.
+type Persistence uint8
+
+const (
+	// PersistNone runs without persist barriers: the fastest mode, but a
+	// power failure mid-collection leaves the NVM heap unrecoverable
+	// (half-applied slot updates with no journal to undo them). Crash
+	// campaigns flag this configuration as documented-unrecoverable.
+	PersistNone Persistence = iota
+	// PersistADR assumes the platform's ADR domain (only the device write
+	// queue is persistent): the collector journals in-place NVM mutations
+	// with CLWB+SFENCE entry barriers and flushes all dirty lines before
+	// declaring the collection durable.
+	PersistADR
+	// PersistEADR assumes extended ADR (the CPU caches are inside the
+	// persistence domain): journaling degenerates to plain ordered stores
+	// and the end-of-GC flush disappears.
+	PersistEADR
+)
+
+// String returns the mode name.
+func (p Persistence) String() string {
+	switch p {
+	case PersistNone:
+		return "none"
+	case PersistADR:
+		return "adr"
+	case PersistEADR:
+		return "eadr"
+	default:
+		return fmt.Sprintf("Persistence(%d)", uint8(p))
+	}
+}
+
 // Options selects the NVM-aware optimizations for a collector.
 type Options struct {
 	// WriteCache stages survivor/promotion regions in DRAM and writes
@@ -66,6 +102,11 @@ type Options struct {
 	// this many collections are promoted to the old generation.
 	// 0 selects 2.
 	PromoteAge int
+
+	// Persist selects the crash-consistency mode (default PersistNone).
+	// Any mode other than PersistNone requires the heap to be built with a
+	// non-zero MetaBytes journal area.
+	Persist Persistence
 }
 
 // Vanilla returns the unmodified collector configuration.
@@ -126,12 +167,17 @@ func (o Options) headerMapBudget(heapBytes int64) int64 {
 // Label returns a short human-readable tag for the option set, matching
 // the paper's figure legends.
 func (o Options) Label() string {
+	var l string
 	switch {
 	case o.WriteCache && o.HeaderMap:
-		return "+all"
+		l = "+all"
 	case o.WriteCache:
-		return "+writecache"
+		l = "+writecache"
 	default:
-		return "vanilla"
+		l = "vanilla"
 	}
+	if o.Persist != PersistNone {
+		l += "+" + o.Persist.String()
+	}
+	return l
 }

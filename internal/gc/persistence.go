@@ -1,0 +1,163 @@
+package gc
+
+import (
+	"fmt"
+
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+)
+
+// The crash-consistency journal is an undo log in the heap's NVM metadata
+// area. Layout:
+//
+//	MetaBase + 0:   header line (64 B): word 0 = epoch, word 1 = state
+//	                (0 idle, 1 collection active), rest unused.
+//	MetaBase + 64:  entries, 32 B each: [epoch, slot, old value, 0].
+//
+// Entries are 32-byte aligned, so a 64 B cache line holds exactly two and
+// the 256 B XPLine tear point (which commits a 32 B prefix of the frontier
+// line) can never split an entry: a torn entry is simply absent, carrying
+// a stale epoch. Recovery therefore scans the whole entry area and trusts
+// exactly the entries whose epoch matches the header.
+//
+// Protocol (undo logging): before the collector mutates in place any NVM
+// word that must survive a crash — an old-space reference slot, a root
+// slot, or a from-space object header receiving a forwarding pointer — it
+// appends an entry holding the word's current value and *persists the
+// entry* (CLWB + SFENCE under ADR; plain ordered stores under eADR, where
+// the cache is persistent) before executing the mutation. A crash can
+// then persist the mutation or not; either way the journal's entry is
+// durable first, so recovery can always restore the old value. Mutations
+// to regions claimed during the GC (to-space, write-cache regions) are
+// not journaled: those regions are discarded wholesale by recovery.
+const (
+	journalHeaderBytes = 64
+	journalEntryBytes  = 32
+
+	journalStateIdle   = 0
+	journalStateActive = 1
+)
+
+// persistLog is the per-collector journal handle. The cursor and epoch
+// mirrors are volatile (they are re-derived from NVM during recovery).
+type persistLog struct {
+	h    *heap.Heap
+	mode Persistence
+	dev  *memsim.Device
+
+	base    heap.Address // header line
+	entries heap.Address // first entry
+	cap     int64        // entry capacity
+
+	epoch  uint64
+	cursor int64
+	active bool
+
+	// cycle counters, harvested into CollectionStats by the collector.
+	appended int64
+}
+
+// newPersistLog sizes the journal over the heap's NVM metadata area.
+func newPersistLog(h *heap.Heap, mode Persistence) (*persistLog, error) {
+	metaBytes := h.MetaBytes()
+	if metaBytes < journalHeaderBytes+journalEntryBytes {
+		return nil, fmt.Errorf("gc: persistence mode %v needs a journal area; heap has MetaBytes=%d (want >= %d)",
+			mode, metaBytes, journalHeaderBytes+journalEntryBytes)
+	}
+	base := h.MetaBase()
+	return &persistLog{
+		h:       h,
+		mode:    mode,
+		dev:     h.DevOf(base),
+		base:    base,
+		entries: base + journalHeaderBytes,
+		cap:     (metaBytes - journalHeaderBytes) / journalEntryBytes,
+	}, nil
+}
+
+// persistLine makes one journal line durable: CLWB + persist fence under
+// ADR; free under eADR (the store already landed inside the domain).
+func (pl *persistLog) persistLine(w *memsim.Worker, addr heap.Address) {
+	if pl.mode == PersistEADR {
+		return
+	}
+	w.CLWB(pl.dev, addr)
+	w.PersistFence()
+}
+
+// begin opens the journal for a collection: bump the epoch, publish
+// state=active, and persist the header before any worker mutates NVM.
+// Called by worker 0 under a barrier.
+func (pl *persistLog) begin(w *memsim.Worker) {
+	pl.epoch++
+	pl.cursor = 0
+	pl.appended = 0
+	pl.active = true
+	pl.h.Poke(pl.base, pl.epoch)
+	pl.h.Poke(pl.base+8, journalStateActive)
+	w.Write(pl.dev, pl.base, 16, false)
+	pl.persistLine(w, pl.base)
+}
+
+// append journals (slot, old value) and persists the entry before
+// returning, so the caller's subsequent in-place mutation can never reach
+// the media ahead of its undo record. Returns an error when the journal
+// area is full (the collection must abort: continuing un-journaled would
+// silently forfeit recoverability).
+func (pl *persistLog) append(w *memsim.Worker, slot heap.Address, old uint64) error {
+	if pl.cursor >= pl.cap {
+		return fmt.Errorf("gc: journal full (%d entries, MetaBytes=%d)", pl.cap, pl.h.MetaBytes())
+	}
+	a := pl.entries + heap.Address(pl.cursor)*journalEntryBytes
+	pl.cursor++
+	pl.appended++
+	pl.h.Poke(a, pl.epoch)
+	pl.h.Poke(a+8, slot)
+	pl.h.Poke(a+16, old)
+	pl.h.Poke(a+24, 0)
+	w.Write(pl.dev, a, journalEntryBytes, true)
+	pl.persistLine(w, a)
+	return nil
+}
+
+// commit closes the journal after everything the collection wrote to NVM
+// has been made durable: state flips to idle and is persisted. A crash
+// before the flip persists is still safe — the journal undoes the whole
+// (already durable) collection back to its pre-GC state, which from-space
+// still supports because regions are only retired after commit returns.
+func (pl *persistLog) commit(w *memsim.Worker) {
+	pl.h.Poke(pl.base+8, journalStateIdle)
+	w.Write(pl.dev, pl.base+8, 8, false)
+	pl.persistLine(w, pl.base)
+	pl.active = false
+}
+
+// journalEntry is one decoded undo record.
+type journalEntry struct {
+	slot heap.Address
+	old  uint64
+}
+
+// readJournal decodes the journal from the NVM image alone (the volatile
+// cursor is not trusted): the header's epoch and state, plus every entry
+// whose epoch matches, in append order. Used by the recovery pass.
+func readJournal(h *heap.Heap) (epoch uint64, active bool, entries []journalEntry) {
+	base := h.MetaBase()
+	if h.MetaBytes() < journalHeaderBytes+journalEntryBytes {
+		return 0, false, nil
+	}
+	epoch = h.Peek(base)
+	active = h.Peek(base+8) == journalStateActive
+	if !active {
+		return epoch, false, nil
+	}
+	cap := (h.MetaBytes() - journalHeaderBytes) / journalEntryBytes
+	for i := int64(0); i < cap; i++ {
+		a := base + journalHeaderBytes + heap.Address(i)*journalEntryBytes
+		if h.Peek(a) != epoch {
+			continue // torn, reverted, or stale entry: its mutation never ran
+		}
+		entries = append(entries, journalEntry{slot: h.Peek(a + 8), old: h.Peek(a + 16)})
+	}
+	return epoch, true, entries
+}

@@ -31,6 +31,13 @@ type CollectionStats struct {
 	StolenSlots         int64
 	RegionsStolenFrom   int64 // regions excluded from async flushing
 
+	// Crash-consistency costs (zero when Persist is PersistNone).
+	Checkpoint          memsim.Time // journal open + header persist at GC start
+	PersistBarrier      memsim.Time // end-of-GC dirty-line flush + journal commit
+	JournalEntries      int64       // undo records appended this collection
+	JournalBytes        int64
+	PersistFlushedLines int64 // cache lines CLWB'd by the end-of-GC barrier
+
 	NVM  memsim.DeviceStats // device traffic during the pause
 	DRAM memsim.DeviceStats
 }

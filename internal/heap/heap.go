@@ -29,6 +29,11 @@ type Config struct {
 	CacheRegions int   // DRAM scratch pool used by the GC write cache
 	AuxBytes     int64 // DRAM area for roots, header map, and metadata
 
+	// MetaBytes sizes an NVM metadata area (after aux) that the GC's
+	// crash-consistency journal lives in. 0 (the default) allocates none
+	// and changes nothing else.
+	MetaBytes int64
+
 	HeapKind memsim.Kind // device backing the Java heap (NVM in the paper)
 
 	// YoungOnDRAM places the young generation (eden and survivor
@@ -76,6 +81,21 @@ type Heap struct {
 	cacheStart, cacheEnd Address
 	auxStart, auxEnd     Address
 	auxTop               Address
+	metaStart, metaEnd   Address
+	metaDev              *memsim.Device
+
+	// pd mirrors the machine's persistence domain (nil when disabled);
+	// every backing-store mutation of a tracked device is hooked so an
+	// injected crash can revert unpersisted lines.
+	pd *memsim.PersistDomain
+
+	// inGC marks a collection in progress: regions claimed while set are
+	// tagged ClaimedInGC (to-space and cache regions a crash discards).
+	inGC bool
+
+	// allocErr records the first allocation-size validation failure
+	// (user-reachable via custom workload profiles); see AllocError.
+	allocErr error
 
 	regions   []*Region // heap regions then cache regions
 	freeHeap  []int     // free heap-region indices (LIFO)
@@ -125,8 +145,11 @@ func New(m *memsim.Machine, cfg Config) (*Heap, error) {
 	h.auxStart = h.cacheEnd
 	h.auxEnd = h.auxStart + Address(cfg.AuxBytes)
 	h.auxTop = h.auxStart
+	h.metaStart = h.auxEnd
+	h.metaEnd = h.metaStart + Address(cfg.MetaBytes)
+	h.metaDev = m.Device(cfg.HeapKind)
 
-	totalWords := (h.auxEnd - h.base) / WordBytes
+	totalWords := (h.metaEnd - h.base) / WordBytes
 	h.words = make([]uint64, totalWords)
 
 	total := cfg.HeapRegions + cfg.CacheRegions
@@ -155,9 +178,24 @@ func New(m *memsim.Machine, cfg Config) (*Heap, error) {
 	reverseInts(h.freeHeap)
 	reverseInts(h.freeCache)
 
-	h.Roots = newRootSet(h, cfg.RootSlots)
+	roots, err := newRootSet(h, cfg.RootSlots)
+	if err != nil {
+		return nil, err
+	}
+	h.Roots = roots
+
+	// Hook into the machine's persistence domain (if one was enabled
+	// before the heap was built): the domain needs raw accessors to
+	// capture and restore line shadows without re-entering these hooks.
+	if pd := m.Persist(); pd != nil {
+		h.pd = pd
+		pd.SetBacking(h.rawPeek, h.rawPoke, h.base, h.metaEnd)
+	}
 	return h, nil
 }
+
+func (h *Heap) rawPeek(addr uint64) uint64    { return h.words[h.index(addr)] }
+func (h *Heap) rawPoke(addr uint64, v uint64) { h.words[h.index(addr)] = v }
 
 func reverseInts(s []int) {
 	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
@@ -204,26 +242,55 @@ func (h *Heap) InYoung(addr Address) bool {
 	return r != nil && (r.Kind == RegionEden || r.Kind == RegionSurvivor)
 }
 
-// DevOf returns the device backing addr (aux space is DRAM).
+// DevOf returns the device backing addr (aux space is DRAM, the meta
+// area sits on the heap device).
 func (h *Heap) DevOf(addr Address) *memsim.Device {
 	if r := h.RegionOf(addr); r != nil {
 		return r.Dev
 	}
+	if addr >= h.metaStart && addr < h.metaEnd {
+		return h.metaDev
+	}
 	return h.m.DRAM
 }
 
+// MetaBase returns the start of the NVM metadata area (journal space).
+func (h *Heap) MetaBase() Address { return h.metaStart }
+
+// MetaBytes returns the size of the NVM metadata area.
+func (h *Heap) MetaBytes() int64 { return int64(h.metaEnd - h.metaStart) }
+
 func (h *Heap) index(addr Address) int {
-	if addr < h.base || addr >= h.auxEnd {
+	if addr < h.base || addr >= h.metaEnd {
 		panic(fmt.Sprintf("heap: address %#x out of range", addr))
 	}
 	return int((addr - h.base) / WordBytes)
+}
+
+// pdStore notifies the persistence domain of a cached store about to be
+// applied (shadow capture + fault trigger); no-op when tracking is off.
+func (h *Heap) pdStore(addr Address, n int64) {
+	if h.pd != nil {
+		h.pd.OnStore(h.DevOf(addr), addr, n)
+	}
+}
+
+// pdStoreQuiet captures shadows for an uncharged (Poke-style) mutation
+// without counting it as a store or firing fault triggers.
+func (h *Heap) pdStoreQuiet(addr Address, n int64) {
+	if h.pd != nil {
+		h.pd.OnStoreQuiet(h.DevOf(addr), addr, n)
+	}
 }
 
 // Peek reads a word without charging virtual time (verification only).
 func (h *Heap) Peek(addr Address) uint64 { return h.words[h.index(addr)] }
 
 // Poke writes a word without charging virtual time (setup/verification).
-func (h *Heap) Poke(addr Address, v uint64) { h.words[h.index(addr)] = v }
+func (h *Heap) Poke(addr Address, v uint64) {
+	h.pdStoreQuiet(addr, WordBytes)
+	h.words[h.index(addr)] = v
+}
 
 // ReadWord models a random 8-byte load.
 func (h *Heap) ReadWord(w *memsim.Worker, addr Address) uint64 {
@@ -233,6 +300,7 @@ func (h *Heap) ReadWord(w *memsim.Worker, addr Address) uint64 {
 
 // WriteWord models a random 8-byte cached store.
 func (h *Heap) WriteWord(w *memsim.Worker, addr Address, v uint64) {
+	h.pdStore(addr, WordBytes)
 	w.Write(h.DevOf(addr), addr, WordBytes, false)
 	h.words[h.index(addr)] = v
 }
@@ -245,6 +313,7 @@ func (h *Heap) WriteWord(w *memsim.Worker, addr Address, v uint64) {
 // applying the effect first is what makes the operation atomic with
 // respect to other simulated workers.
 func (h *Heap) CASWord(w *memsim.Worker, addr Address, old, new uint64) (uint64, bool) {
+	h.pdStore(addr, WordBytes)
 	idx := h.index(addr)
 	cur := h.words[idx]
 	ok := cur == old
@@ -268,6 +337,7 @@ func (h *Heap) ReadRange(w *memsim.Worker, addr Address, nWords int64) {
 // the source plus a sequential cached write of the destination, and moves
 // the backing data.
 func (h *Heap) CopyWords(w *memsim.Worker, dst, src Address, nWords int64) {
+	h.pdStore(dst, nWords*WordBytes)
 	w.Read(h.DevOf(src), src, nWords*WordBytes, true)
 	w.Write(h.DevOf(dst), dst, nWords*WordBytes, true)
 	copy(h.words[h.index(dst):h.index(dst)+int(nWords)], h.words[h.index(src):h.index(src)+int(nWords)])
@@ -276,16 +346,38 @@ func (h *Heap) CopyWords(w *memsim.Worker, dst, src Address, nWords int64) {
 // CopyWordsNT is CopyWords with a non-temporal destination stream (used by
 // the write-back sub-phase of the optimized collector).
 func (h *Heap) CopyWordsNT(w *memsim.Worker, dst, src Address, nWords int64) {
+	h.pdStore(dst, nWords*WordBytes)
 	w.Read(h.DevOf(src), src, nWords*WordBytes, true)
 	w.WriteNT(h.DevOf(dst), dst, nWords*WordBytes)
 	copy(h.words[h.index(dst):h.index(dst)+int(nWords)], h.words[h.index(src):h.index(src)+int(nWords)])
+	// Non-temporal stores reach the device write-pending queue directly,
+	// which ADR drains on power fail: the written lines are persisted.
+	if h.pd != nil {
+		h.pd.OnNT(h.DevOf(dst), dst, nWords*WordBytes)
+	}
 }
 
 // MoveWordsRaw moves backing data without charging any cost (callers
 // account the traffic themselves).
 func (h *Heap) MoveWordsRaw(dst, src Address, nWords int64) {
+	h.pdStoreQuiet(dst, nWords*WordBytes)
 	copy(h.words[h.index(dst):h.index(dst)+int(nWords)], h.words[h.index(src):h.index(src)+int(nWords)])
 }
+
+// setAllocError records the first allocation validation failure so the
+// caller's run loop can surface it as an error instead of a panic.
+func (h *Heap) setAllocError(err error) {
+	if h.allocErr == nil {
+		h.allocErr = err
+	}
+}
+
+// AllocError returns the first allocation-size validation failure (e.g. a
+// malformed custom workload profile asking for odd-sized objects), or nil.
+// Allocation entry points report such failures as ordinary allocation
+// failure; callers that see repeated failure should consult this to
+// distinguish "heap full" from "request invalid".
+func (h *Heap) AllocError() error { return h.allocErr }
 
 // AllocAux carves bytes out of the DRAM aux area (header map, metadata).
 // Aux allocations are never freed.

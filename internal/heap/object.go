@@ -87,6 +87,7 @@ func (h *Heap) PeekObject(obj Address) (*Klass, int64) {
 // initObject writes the header, zeroes the payload, and charges one
 // sequential store covering the whole object.
 func (h *Heap) initObject(w *memsim.Worker, obj Address, k *Klass, sizeWords int64) {
+	h.pdStoreQuiet(obj, sizeWords*WordBytes)
 	h.Poke(MarkAddr(obj), MarkWithAge(0))
 	h.Poke(InfoAddr(obj), MakeInfo(k.ID, sizeWords))
 	lo := h.index(obj) + HeaderWords
@@ -104,7 +105,8 @@ func (h *Heap) initObject(w *memsim.Worker, obj Address, k *Klass, sizeWords int
 // exhausted (time to collect).
 func (h *Heap) AllocateEden(w *memsim.Worker, k *Klass, sizeWords int64) (Address, bool) {
 	if err := h.checkSize(k, sizeWords); err != nil {
-		panic(err)
+		h.setAllocError(err)
+		return 0, false
 	}
 	for {
 		if h.edenCur != nil {
@@ -130,7 +132,8 @@ func (h *Heap) AllocateEden(w *memsim.Worker, k *Klass, sizeWords int64) (Addres
 // the heap has no free regions left.
 func (h *Heap) AllocateOld(w *memsim.Worker, k *Klass, sizeWords int64) (Address, bool) {
 	if err := h.checkSize(k, sizeWords); err != nil {
-		panic(err)
+		h.setAllocError(err)
+		return 0, false
 	}
 	for {
 		if h.oldCur != nil {
@@ -219,6 +222,7 @@ func (h *Heap) GetRef(w *memsim.Worker, obj Address, off int64) Address {
 // re-dirty its cache lines randomly.
 func (h *Heap) SetRefInit(w *memsim.Worker, obj Address, off int64, target Address) {
 	slot := SlotAddr(obj, off)
+	h.pdStore(slot, WordBytes)
 	w.Write(h.DevOf(slot), slot, WordBytes, true)
 	h.words[h.index(slot)] = target
 	h.refBarrier(w, obj, slot, target)

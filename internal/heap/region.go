@@ -56,6 +56,13 @@ type Region struct {
 	// BeginCollection, cleared when the region is retired).
 	InCSet bool
 
+	// ClaimedInGC marks regions claimed while a collection was in
+	// progress (to-space survivors, promotion targets, and write-cache
+	// regions). After a crash these regions hold partially evacuated
+	// data and are discarded by the recovery pass; the flag is cleared
+	// when the collection finishes normally.
+	ClaimedInGC bool
+
 	// MapTo is the NVM region a cache region will be flushed into
 	// (the write cache's region mapping).
 	MapTo *Region
@@ -103,6 +110,7 @@ func (r *Region) reset() {
 	r.Top = r.Start
 	r.MapTo = nil
 	r.InCSet = false
+	r.ClaimedInGC = false
 	r.RemSet.Clear()
 }
 
@@ -145,6 +153,7 @@ func (h *Heap) ClaimRegion(kind RegionKind, dev *memsim.Device) (*Region, bool) 
 	*pool = (*pool)[:n-1]
 	r := h.regions[idx]
 	r.Kind = kind
+	r.ClaimedInGC = h.inGC
 	switch {
 	case kind == RegionCache:
 		r.Dev = h.m.DRAM
@@ -217,6 +226,7 @@ func (h *Heap) BeginCollection() []*Region {
 	h.eden = nil
 	h.edenCur = nil
 	h.survivors = nil
+	h.inGC = true
 	return cset
 }
 
@@ -235,6 +245,7 @@ func (h *Heap) BeginFullCollection() []*Region {
 	h.survivors = nil
 	h.old = nil
 	h.oldCur = nil
+	h.inGC = true
 	return cset
 }
 
@@ -265,10 +276,114 @@ func (h *Heap) BeginMixedCollection(oldRegions []*Region) []*Region {
 	return cset
 }
 
-// FinishCollection retires the collection-set regions.
+// FinishCollection retires the collection-set regions and clears the
+// in-collection state (regions claimed during the GC become ordinary
+// survivors/old regions).
 func (h *Heap) FinishCollection(cset []*Region) {
 	for _, r := range cset {
 		h.Retire(r)
+	}
+	for _, r := range h.regions {
+		r.ClaimedInGC = false
+	}
+	h.inGC = false
+}
+
+// InGC reports whether a collection is in progress (set by the Begin*
+// entry points, cleared by FinishCollection or RollbackCollection).
+func (h *Heap) InGC() bool { return h.inGC }
+
+// CrashedCSet returns the regions of an interrupted collection's
+// collection set (InCSet still held because FinishCollection never ran),
+// in index order.
+func (h *Heap) CrashedCSet() []*Region {
+	var out []*Region
+	for _, r := range h.regions {
+		if r.InCSet {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// GCClaimedRegions returns the regions claimed during an interrupted
+// collection (to-space and write-cache regions), in index order.
+func (h *Heap) GCClaimedRegions() []*Region {
+	var out []*Region
+	for _, r := range h.regions {
+		if r.ClaimedInGC && r.Kind != RegionFree {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RollbackCollection undoes an interrupted collection's heap
+// bookkeeping: regions claimed during the GC (half-filled to-space and
+// write-cache regions) are retired, collection-set regions return to
+// their generation lists, and the eden/survivor/old lists are rebuilt
+// from the region table in index order. The caller (the GC recovery
+// pass) must first restore the object graph — forwarding marks and
+// updated slots — from the journal and the surviving from-space copies.
+func (h *Heap) RollbackCollection() {
+	h.eden, h.edenCur = nil, nil
+	h.survivors = nil
+	h.old, h.oldCur = nil, nil
+	for _, r := range h.regions {
+		if r.ClaimedInGC && r.Kind != RegionFree {
+			h.Retire(r)
+			continue
+		}
+		r.InCSet = false
+		r.ClaimedInGC = false
+		switch r.Kind {
+		case RegionEden:
+			h.eden = append(h.eden, r)
+		case RegionSurvivor:
+			h.survivors = append(h.survivors, r)
+		case RegionOld:
+			h.old = append(h.old, r)
+		}
+	}
+	h.inGC = false
+}
+
+// RebuildRemSets reconstructs every region's remembered set from a full
+// scan of the old generation (remembered sets live in volatile DRAM and
+// do not survive a crash). Root-area slots are re-added by the next
+// collection's root scan, so only old-space slots are recorded here.
+func (h *Heap) RebuildRemSets() {
+	for _, r := range h.regions {
+		r.RemSet.Clear()
+	}
+	for _, r := range h.regions {
+		if r.Kind != RegionOld {
+			continue
+		}
+		for obj := r.Start; obj < r.Top; {
+			k, size := h.PeekObject(obj)
+			if k == nil {
+				break // corrupt tail; the verifier reports it
+			}
+			for off := int64(HeaderWords); off < size; off++ {
+				if !k.IsRefSlot(off, size) {
+					continue
+				}
+				slot := SlotAddr(obj, off)
+				target := h.Peek(slot)
+				if target == 0 {
+					continue
+				}
+				tr := h.RegionOf(target)
+				if tr == nil || tr == r {
+					continue
+				}
+				if tr.Kind == RegionEden || tr.Kind == RegionSurvivor || tr.Kind == RegionOld {
+					tr.RemSet.Add(slot)
+				}
+			}
+			obj += Address(size) * WordBytes
+		}
 	}
 }
 

@@ -18,12 +18,12 @@ type RootSet struct {
 	live  int
 }
 
-func newRootSet(h *Heap, slots int) *RootSet {
+func newRootSet(h *Heap, slots int) (*RootSet, error) {
 	a, err := h.AllocAux(int64(slots) * WordBytes)
 	if err != nil {
-		panic(fmt.Sprintf("heap: root set does not fit in aux area: %v", err))
+		return nil, fmt.Errorf("heap: root set does not fit in aux area: %w", err)
 	}
-	return &RootSet{h: h, start: a, cap: slots}
+	return &RootSet{h: h, start: a, cap: slots}, nil
 }
 
 // Cap returns the root-set capacity in slots.

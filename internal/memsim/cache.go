@@ -55,6 +55,11 @@ type Cache struct {
 	writebacks     int64
 	promoted       int64 // prefetch-buffer hits promoted into the cache
 	pbufOverwrites int64 // still-in-flight entries lost to FIFO wrap
+
+	// onEvict, when set, observes every dirty-line writeback caused by
+	// eviction (the persistence domain uses it: an evicted dirty line has
+	// reached the device write queue and is therefore persisted).
+	onEvict func(dev *Device, lineAddr uint64)
 }
 
 // NewCache creates a cache with the given capacity in bytes and
@@ -174,6 +179,9 @@ func (c *Cache) installInSet(set []cacheLine, dev *Device, lineAddr uint64, now 
 	}
 	if victim.valid && victim.dirty {
 		c.writebacks++
+		if c.onEvict != nil {
+			c.onEvict(victim.dev, victim.tag)
+		}
 		victim.dev.access(now, opWrite, LineSize, victim.seqDirty)
 	}
 	*victim = cacheLine{dev: dev, tag: lineAddr, dirty: write, seqDirty: write && seq, valid: true, lastUse: now, readyAt: readyAt}
@@ -264,6 +272,23 @@ func (c *Cache) installPrefetch(dev *Device, addr uint64, n int64, now, readyAt 
 			break
 		}
 	}
+}
+
+// cleanLine clears the dirty bit of a cached line without invalidating it
+// (the CLWB semantics) and reports whether the line was dirty. The device
+// write is charged by the caller, which also tracks its completion time.
+func (c *Cache) cleanLine(dev *Device, lineAddr uint64) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.dev == dev && l.tag == lineAddr {
+			wasDirty := l.dirty
+			l.dirty = false
+			l.seqDirty = false
+			return wasDirty
+		}
+	}
+	return false
 }
 
 func (c *Cache) present(dev *Device, lineAddr uint64) bool {

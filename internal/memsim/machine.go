@@ -19,7 +19,21 @@ type Config struct {
 	// EagerYield starts the machine in the reference scheduling mode that
 	// yields before every device-visible operation (see SetEagerYield).
 	EagerYield bool
+
+	// WatchdogSpins bounds consecutive Spin iterations before the deadlock
+	// watchdog inspects the phase: if every unfinished worker is also
+	// spinning, the phase can never progress and Run panics with a
+	// *WatchdogError carrying a per-worker state dump instead of
+	// busy-looping the host forever. 0 selects the default threshold;
+	// a negative value disables the watchdog.
+	WatchdogSpins int64
 }
+
+// defaultWatchdogSpins is large enough that legitimate all-spinning
+// windows (barrier arrival, work-stealing termination detection) resolve
+// orders of magnitude earlier, yet a true deadlock trips in microseconds
+// of host time.
+const defaultWatchdogSpins = 1 << 14
 
 // DefaultConfig returns the calibrated default machine: server DRAM, six
 // interleaved Optane DIMMs, and a scaled-down shared LLC (the heap is
@@ -53,15 +67,32 @@ type Machine struct {
 	marks []PhaseMark
 
 	eagerYield bool
+
+	// Persistence domain and fault injection (see persist.go).
+	pd        *PersistDomain
+	fault     *FaultPlan
+	faultTime Time // armed CrashAtTime trigger; 0 when disarmed
+	crashed   bool
+	crashTime Time
+	halted    bool // workers unwind via crashSignal until cleared
+
+	// Deadlock watchdog (see Config.WatchdogSpins).
+	wdSpins int64
+	wdErr   *WatchdogError
 }
 
 // NewMachine builds a machine from the config.
 func NewMachine(cfg Config) *Machine {
+	wd := cfg.WatchdogSpins
+	if wd == 0 {
+		wd = defaultWatchdogSpins
+	}
 	return &Machine{
 		DRAM:       NewDevice("dram", cfg.DRAM, cfg.TraceBucket),
 		NVM:        NewDevice("nvm", cfg.NVM, cfg.TraceBucket),
 		LLC:        NewCache(cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCHitLatency),
 		eagerYield: cfg.EagerYield,
+		wdSpins:    wd,
 	}
 }
 
@@ -113,22 +144,31 @@ func (m *Machine) Run(n int, body func(*Worker)) Time {
 	start := m.now
 	if n <= 1 {
 		w := &Worker{id: 0, now: start, m: m, horizon: math.MaxInt64}
-		body(w)
+		runBody(w, body)
+		w.finished = true
 		if w.now > m.now {
 			m.now = w.now
+		}
+		if m.wdErr != nil {
+			err := m.wdErr
+			m.wdErr = nil
+			panic(err)
 		}
 		return m.now - start
 	}
 
 	s := &scheduler{done: make(chan *Worker, n), q: make(workerQueue, 0, n)}
+	s.all = make([]*Worker, 0, n)
 	for i := 0; i < n; i++ {
 		w := &Worker{id: i, now: start, m: m, sched: s, resume: make(chan struct{})}
 		go func(w *Worker) {
 			<-w.resume
-			body(w)
+			runBody(w, body)
+			w.finished = true
 			w.finish()
 		}(w)
 		s.q = append(s.q, w)
+		s.all = append(s.all, w)
 	}
 	heap.Init(&s.q)
 
@@ -150,7 +190,27 @@ func (m *Machine) Run(n int, body func(*Worker)) Time {
 	if end > m.now {
 		m.now = end
 	}
+	if m.wdErr != nil {
+		err := m.wdErr
+		m.wdErr = nil
+		panic(err)
+	}
 	return m.now - start
+}
+
+// runBody executes a worker body, absorbing the crashSignal unwind that an
+// injected fault or the deadlock watchdog uses to drain the phase. Any
+// other panic propagates.
+func runBody(w *Worker, body func(*Worker)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(crashSignal); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	body(w)
 }
 
 // scheduler is the shared state of one parallel phase. The runnable-worker
@@ -160,6 +220,7 @@ func (m *Machine) Run(n int, body func(*Worker)) Time {
 type scheduler struct {
 	q    workerQueue
 	done chan *Worker // buffered; receives each worker as its body returns
+	all  []*Worker    // every worker of the phase, for watchdog dumps
 }
 
 // workerQueue is a min-heap of workers ordered by virtual time, ties broken

@@ -1,0 +1,280 @@
+package memsim
+
+import "testing"
+
+// persistEnv is a tiny tracked backing store: a sparse word map standing
+// in for the heap's word array.
+type persistEnv struct {
+	m  *Machine
+	pd *PersistDomain
+	b  map[uint64]uint64
+}
+
+func newPersistEnv(t *testing.T, cfg Config, eADR bool) *persistEnv {
+	t.Helper()
+	m := NewMachine(cfg)
+	pd := m.EnablePersist(m.NVM, eADR)
+	e := &persistEnv{m: m, pd: pd, b: make(map[uint64]uint64)}
+	pd.SetBacking(
+		func(a uint64) uint64 { return e.b[a] },
+		func(a uint64, v uint64) { e.b[a] = v },
+		0, 1<<30,
+	)
+	return e
+}
+
+// store models a heap cached store: hook first (the crash strikes before
+// the triggering store applies), then the charged write, then the
+// backing mutation.
+func (e *persistEnv) store(w *Worker, addr uint64, v uint64) {
+	e.pd.OnStore(e.m.NVM, addr, 8)
+	w.Write(e.m.NVM, addr, 8, false)
+	e.b[addr] = v
+}
+
+// tinyCacheConfig returns a machine with a 2-line direct-mapped LLC so
+// tests can force dirty evictions at will.
+func tinyCacheConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TraceBucket = 0
+	cfg.LLCBytes = 2 * LineSize
+	cfg.LLCAssoc = 1
+	return cfg
+}
+
+func TestCrashRevertsUnpersistedLines(t *testing.T) {
+	e := newPersistEnv(t, tinyCacheConfig(), false)
+	// Lines 0 and 128 share LLC set 0: the second store evicts the first,
+	// persisting it; the third store is the crash trigger.
+	e.m.InjectFault(FaultPlan{CrashAtStore: 3})
+	e.m.Run(1, func(w *Worker) {
+		e.store(w, 0, 11)
+		e.store(w, 128, 22)
+		e.store(w, 64, 33) // never applies
+		t.Error("store past the crash trigger executed")
+	})
+	if !e.m.Crashed() {
+		t.Fatal("machine did not crash")
+	}
+	rep, err := e.m.MaterializeCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.b[0]; got != 11 {
+		t.Errorf("evicted line reverted: got %d, want 11", got)
+	}
+	if got := e.b[128]; got != 0 {
+		t.Errorf("unpersisted line survived: got %d, want 0", got)
+	}
+	if got := e.b[64]; got != 0 {
+		t.Errorf("post-crash store applied: got %d", got)
+	}
+	if rep.RevertedLines != 1 {
+		t.Errorf("RevertedLines = %d, want 1", rep.RevertedLines)
+	}
+	if s := e.pd.Stats(); s.EvictPersists != 1 {
+		t.Errorf("EvictPersists = %d, want 1", s.EvictPersists)
+	}
+}
+
+func TestCLWBNeedsFenceToPersist(t *testing.T) {
+	for _, fenced := range []bool{false, true} {
+		e := newPersistEnv(t, tinyCacheConfig(), false)
+		e.m.InjectFault(FaultPlan{CrashAtTime: 1 << 40})
+		e.m.Run(1, func(w *Worker) {
+			e.store(w, 0, 7)
+			w.CLWB(e.m.NVM, 0)
+			if fenced {
+				w.PersistFence()
+			}
+			w.Spin(1 << 41)
+			w.Spin(1) // trip the time trigger
+		})
+		if _, err := e.m.MaterializeCrash(); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(0)
+		if fenced {
+			want = 7
+		}
+		if got := e.b[0]; got != want {
+			t.Errorf("fenced=%v: got %d, want %d", fenced, got, want)
+		}
+	}
+}
+
+func TestKeepPendingTreatsCLWBAsPersisted(t *testing.T) {
+	e := newPersistEnv(t, tinyCacheConfig(), false)
+	e.m.InjectFault(FaultPlan{CrashAtTime: 1 << 40, KeepPending: true})
+	e.m.Run(1, func(w *Worker) {
+		e.store(w, 0, 7)
+		w.CLWB(e.m.NVM, 0) // flushed, never fenced
+		w.Spin(1 << 41)
+		w.Spin(1) // trip the time trigger
+	})
+	rep, err := e.m.MaterializeCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.b[0]; got != 7 {
+		t.Errorf("pending line reverted under KeepPending: got %d", got)
+	}
+	if rep.KeptLines != 1 {
+		t.Errorf("KeptLines = %d, want 1", rep.KeptLines)
+	}
+}
+
+func TestNTStorePersistsImmediately(t *testing.T) {
+	e := newPersistEnv(t, tinyCacheConfig(), false)
+	e.m.InjectFault(FaultPlan{CrashAtTime: 1 << 40})
+	e.m.Run(1, func(w *Worker) {
+		e.pd.OnStore(e.m.NVM, 256, 8)
+		w.WriteNT(e.m.NVM, 256, LineSize)
+		e.b[256] = 42
+		e.pd.OnNT(e.m.NVM, 256, LineSize)
+		w.Spin(1 << 41)
+		w.Spin(1) // trip the time trigger
+	})
+	if _, err := e.m.MaterializeCrash(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.b[256]; got != 42 {
+		t.Errorf("NT store reverted: got %d, want 42", got)
+	}
+}
+
+func TestEADRPersistsEveryStore(t *testing.T) {
+	e := newPersistEnv(t, tinyCacheConfig(), true)
+	e.m.InjectFault(FaultPlan{CrashAtStore: 4})
+	e.m.Run(1, func(w *Worker) {
+		e.store(w, 0, 1)
+		e.store(w, 64, 2)
+		e.store(w, 128, 3)
+		e.store(w, 192, 99) // trigger: never applies
+	})
+	rep, err := e.m.MaterializeCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RevertedLines != 0 {
+		t.Errorf("eADR reverted %d lines", rep.RevertedLines)
+	}
+	for addr, want := range map[uint64]uint64{0: 1, 64: 2, 128: 3, 192: 0} {
+		if got := e.b[addr]; got != want {
+			t.Errorf("b[%d] = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestTornXPLineAtCrashFrontier(t *testing.T) {
+	e := newPersistEnv(t, tinyCacheConfig(), false)
+	// Fill one 256 B XPLine line-by-line (lines 512, 576, 640, 704), all
+	// eight words per line, then crash. The frontier is line 704: lines
+	// before it persist, 704 keeps its first four words, nothing follows.
+	e.m.InjectFault(FaultPlan{CrashAtTime: 1 << 40, TornLine: true})
+	e.m.Run(1, func(w *Worker) {
+		for line := uint64(512); line < 768; line += LineSize {
+			for off := uint64(0); off < LineSize; off += 8 {
+				e.store(w, line+off, 100+line+off)
+			}
+		}
+		w.Spin(1 << 41)
+		w.Spin(1) // trip the time trigger
+	})
+	rep, err := e.m.MaterializeCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TornLine || rep.TornLineAddr != 704 {
+		t.Fatalf("torn line = (%v, %d), want (true, 704)", rep.TornLine, rep.TornLineAddr)
+	}
+	for line := uint64(512); line < 704; line += LineSize {
+		for off := uint64(0); off < LineSize; off += 8 {
+			if got := e.b[line+off]; got != 100+line+off {
+				t.Fatalf("pre-frontier word %d reverted: got %d", line+off, got)
+			}
+		}
+	}
+	for off := uint64(0); off < LineSize; off += 8 {
+		want := uint64(0)
+		if off < 32 {
+			want = 100 + 704 + off
+		}
+		if got := e.b[704+off]; got != want {
+			t.Errorf("torn line word %d = %d, want %d", off, got, want)
+		}
+	}
+}
+
+func TestCrashAtStoreRangeFilter(t *testing.T) {
+	e := newPersistEnv(t, tinyCacheConfig(), false)
+	// Only stores into [4096, 8192) count; the second such store triggers.
+	e.m.InjectFault(FaultPlan{CrashAtStore: 2, StoreLo: 4096, StoreHi: 8192})
+	applied := 0
+	e.m.Run(1, func(w *Worker) {
+		e.store(w, 0, 1) // outside the window: not counted
+		applied++
+		e.store(w, 4096, 2) // first counted store
+		applied++
+		e.store(w, 64, 3) // outside: not counted
+		applied++
+		e.store(w, 4160, 4) // second counted store: crash
+		applied++
+	})
+	if applied != 3 {
+		t.Fatalf("applied %d stores before crash, want 3", applied)
+	}
+	if !e.m.Crashed() {
+		t.Fatal("range-filtered store trigger did not fire")
+	}
+}
+
+func TestCrashAtTimeUnwindsParallelPhase(t *testing.T) {
+	e := newPersistEnv(t, tinyCacheConfig(), false)
+	e.m.InjectFault(FaultPlan{CrashAtTime: 5 * Microsecond})
+	e.m.Run(4, func(w *Worker) {
+		for i := 0; ; i++ {
+			w.Read(e.m.DRAM, uint64(w.ID()*4096+i*8), 8, false)
+		}
+	})
+	if !e.m.Crashed() {
+		t.Fatal("time trigger did not fire")
+	}
+	if ct := e.m.CrashTime(); ct < 5*Microsecond {
+		t.Errorf("crash time %d before trigger point", ct)
+	}
+}
+
+// TestPersistHooksDoNotChangeTiming asserts the cornerstone golden
+// property: enabling the persistence domain (without any fault firing)
+// leaves every virtual-time result bit-identical.
+func TestPersistHooksDoNotChangeTiming(t *testing.T) {
+	run := func(enable bool) Time {
+		cfg := tinyCacheConfig()
+		m := NewMachine(cfg)
+		var e *persistEnv
+		if enable {
+			pd := m.EnablePersist(m.NVM, false)
+			e = &persistEnv{m: m, pd: pd, b: make(map[uint64]uint64)}
+			pd.SetBacking(
+				func(a uint64) uint64 { return e.b[a] },
+				func(a uint64, v uint64) { e.b[a] = v },
+				0, 1<<30,
+			)
+		}
+		m.Run(4, func(w *Worker) {
+			for i := 0; i < 500; i++ {
+				addr := uint64(w.ID())*8192 + uint64(i%32)*64
+				if enable {
+					e.pd.OnStore(m.NVM, addr, 8)
+				}
+				w.Write(m.NVM, addr, 8, false)
+				w.Read(m.NVM, addr+4096, 8, false)
+			}
+		})
+		return m.Now()
+	}
+	if off, on := run(false), run(true); off != on {
+		t.Fatalf("timing changed with persistence enabled: %d vs %d", off, on)
+	}
+}

@@ -1,0 +1,106 @@
+package memsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWatchdogDetectsDeadlock provokes the classic simulation deadlock:
+// every worker busy-waits on progress no one will ever make. The watchdog
+// must unwind the phase and panic with a per-worker state dump instead of
+// burning host CPU forever.
+func TestWatchdogDetectsDeadlock(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TraceBucket = 0
+	cfg.WatchdogSpins = 256
+	m := NewMachine(cfg)
+
+	defer func() {
+		we, ok := recover().(*WatchdogError)
+		if !ok {
+			t.Fatal("deadlocked phase did not panic with *WatchdogError")
+		}
+		if len(we.Workers) != 3 {
+			t.Fatalf("dump has %d workers, want 3", len(we.Workers))
+		}
+		for _, wd := range we.Workers {
+			if wd.Done {
+				t.Errorf("worker %d reported finished in a full deadlock", wd.ID)
+			}
+			if wd.Spins < 256 {
+				t.Errorf("worker %d dumped with streak %d < threshold", wd.ID, wd.Spins)
+			}
+			if wd.LastOp != "read" {
+				t.Errorf("worker %d last op %q, want read", wd.ID, wd.LastOp)
+			}
+		}
+		msg := we.Error()
+		for _, want := range []string{"watchdog", "deadlock", "worker  2", "last-op=read"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("dump message missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+
+	m.Run(3, func(w *Worker) {
+		// One real op so the dump has a last-op, then an unbounded wait on
+		// a flag no worker ever sets.
+		w.Read(m.DRAM, uint64(w.ID())*64, 8, false)
+		for {
+			w.Spin(60)
+		}
+	})
+	t.Fatal("deadlocked Run returned")
+}
+
+// TestWatchdogSparesLegitimateWaits runs a phase where one worker spins on
+// a flag another worker is actively working toward: the working worker's
+// streak stays zero, so the watchdog must not fire.
+func TestWatchdogSparesLegitimateWaits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TraceBucket = 0
+	cfg.WatchdogSpins = 512
+	m := NewMachine(cfg)
+
+	var done bool
+	m.Run(2, func(w *Worker) {
+		if w.ID() == 0 {
+			for i := 0; i < 200; i++ {
+				w.Read(m.DRAM, uint64(i)*8, 8, false)
+			}
+			done = true
+			return
+		}
+		for !done {
+			w.Spin(60)
+		}
+	})
+	if !done {
+		t.Fatal("phase did not complete")
+	}
+}
+
+// TestWatchdogSingleWorker: a single-worker phase stuck in a busy-wait is
+// just as dead; the n<=1 fast path must trip the watchdog too.
+func TestWatchdogSingleWorker(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TraceBucket = 0
+	cfg.WatchdogSpins = 128
+	m := NewMachine(cfg)
+
+	defer func() {
+		we, ok := recover().(*WatchdogError)
+		if !ok {
+			t.Fatal("single-worker deadlock did not panic with *WatchdogError")
+		}
+		if len(we.Workers) != 1 {
+			t.Fatalf("dump has %d workers, want 1", len(we.Workers))
+		}
+	}()
+	m.Run(1, func(w *Worker) {
+		for {
+			w.Spin(60)
+		}
+	})
+	t.Fatal("deadlocked Run returned")
+}

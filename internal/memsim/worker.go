@@ -24,6 +24,53 @@ type Worker struct {
 	// executing while (now, id) < (horizon, horizonID) lexicographically.
 	horizon   Time
 	horizonID int
+
+	// finished marks the body as returned (read by the watchdog).
+	finished bool
+
+	// Watchdog bookkeeping: the last device-visible operation and the
+	// current consecutive-Spin streak. Every real operation resets the
+	// streak; only an unbroken streak across *all* unfinished workers
+	// indicates a deadlock (see watchdog.go).
+	lastOp     string
+	lastDev    string
+	lastAddr   uint64
+	spinStreak int64
+	spinSince  Time
+
+	// flushDone is the completion time of the latest CLWB writeback this
+	// worker issued; PersistFence cannot retire before it.
+	flushDone Time
+}
+
+// noteOp records a real (non-spin) operation for watchdog dumps and ends
+// any spin streak. It also fires the armed time-based fault trigger: a
+// crash at virtual time T strikes at the first operation starting at or
+// after T, which is deterministic because operations are globally ordered
+// by issue time.
+func (w *Worker) noteOp(op string, dev *Device, addr uint64) {
+	w.lastOp = op
+	if dev != nil {
+		w.lastDev = dev.name
+	} else {
+		w.lastDev = ""
+	}
+	w.lastAddr = addr
+	w.spinStreak = 0
+	w.checkFault()
+}
+
+// checkFault unwinds the worker if the machine is halted (a fault already
+// fired, or the watchdog tripped) and fires a pending time trigger.
+func (w *Worker) checkFault() {
+	m := w.m
+	if m.halted {
+		panic(crashSignal{})
+	}
+	if m.faultTime > 0 && w.now >= m.faultTime {
+		m.triggerCrash(w.now)
+		panic(crashSignal{})
+	}
 }
 
 // ID returns the worker's index within its phase.
@@ -108,6 +155,13 @@ func (w *Worker) Spin(d Time) {
 	if d < 1 {
 		d = 1
 	}
+	w.checkFault()
+	if w.spinStreak == 0 {
+		w.spinSince = w.now
+	}
+	if w.spinStreak++; w.spinStreak >= w.m.wdSpins && w.m.wdSpins > 0 {
+		w.watchdogCheck()
+	}
 	w.now += d
 	w.yield()
 }
@@ -119,6 +173,7 @@ func (w *Worker) Read(dev *Device, addr uint64, n int64, seq bool) {
 	if n <= 0 {
 		return
 	}
+	w.noteOp("read", dev, addr)
 	w.yield()
 	c := w.m.LLC
 	missLines, ready := c.touchRange(dev, addr, n, w.now, false, seq)
@@ -144,6 +199,7 @@ func (w *Worker) Write(dev *Device, addr uint64, n int64, seq bool) {
 	if n <= 0 {
 		return
 	}
+	w.noteOp("write", dev, addr)
 	w.yield()
 	c := w.m.LLC
 	missLines, ready := c.touchRange(dev, addr, n, w.now, true, seq)
@@ -168,6 +224,7 @@ func (w *Worker) WriteNT(dev *Device, addr uint64, n int64) {
 	if n <= 0 {
 		return
 	}
+	w.noteOp("write-nt", dev, addr)
 	w.yield()
 	w.m.LLC.invalidateRange(dev, addr, n)
 	complete := dev.access(w.now, opWriteNT, n, true)
@@ -177,7 +234,49 @@ func (w *Worker) WriteNT(dev *Device, addr uint64, n int64) {
 // Fence models a store fence ordering non-temporal writes (issued once
 // before GC end in the optimized collector).
 func (w *Worker) Fence() {
+	w.noteOp("fence", nil, 0)
 	w.Advance(30)
+}
+
+// CLWB models a cache-line write-back instruction: if the line at addr is
+// dirty in the LLC (or is otherwise outside the persistence domain) it is
+// written back to the device; the line stays valid-clean in the cache.
+// The write-back proceeds asynchronously — the worker pays only issue
+// overhead here and waits for completion at the next PersistFence. The
+// flushed line enters the persistence domain when that fence retires.
+func (w *Worker) CLWB(dev *Device, addr uint64) {
+	w.noteOp("clwb", dev, addr)
+	w.yield()
+	line := addr &^ (LineSize - 1)
+	pd := w.m.pd
+	dirty := w.m.LLC.cleanLine(dev, line)
+	if pd != nil && !pd.eADR && pd.isDirty(line) {
+		dirty = true
+	}
+	if dirty {
+		done := dev.access(w.now, opWrite, LineSize, false)
+		if done > w.flushDone {
+			w.flushDone = done
+		}
+	}
+	if pd != nil {
+		pd.onCLWB(dev, line)
+	}
+	w.Advance(4)
+}
+
+// PersistFence models the SFENCE that orders preceding CLWBs: it retires
+// once every write-back this worker issued has completed, committing the
+// flushed lines to the persistence domain.
+func (w *Worker) PersistFence() {
+	w.noteOp("persist-fence", nil, 0)
+	w.Advance(30)
+	if w.flushDone > w.now {
+		w.now = w.flushDone
+	}
+	if pd := w.m.pd; pd != nil {
+		pd.onFence()
+	}
 }
 
 // Prefetch issues a software prefetch for [addr, addr+n): missing lines
@@ -188,6 +287,7 @@ func (w *Worker) Prefetch(dev *Device, addr uint64, n int64, seq bool) {
 	if n <= 0 {
 		return
 	}
+	w.noteOp("prefetch", dev, addr)
 	w.yield()
 	c := w.m.LLC
 	miss := c.missingLines(dev, addr, n)

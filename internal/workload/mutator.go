@@ -183,6 +183,12 @@ func (r *Runner) Run() (Result, error) {
 		if !needGC {
 			break
 		}
+		if err := r.h.AllocError(); err != nil {
+			// The allocation failure was a request-validation error (e.g. a
+			// malformed custom profile), not memory pressure: collecting
+			// would never help, so surface it instead of looping on GCs.
+			return res, fmt.Errorf("workload %s: %w", r.p.Name, err)
+		}
 		if _, err := r.col.Collect(r.cfg.GCThreads); err != nil {
 			return res, fmt.Errorf("workload %s: %w", r.p.Name, err)
 		}
