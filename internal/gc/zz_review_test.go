@@ -1,0 +1,32 @@
+package gc
+
+import (
+	"errors"
+	"testing"
+
+	"nvmgc/internal/memsim"
+)
+
+// Crash immediately after the collection starts (inside the checkpoint
+// window, before the journal header's state=active can persist).
+func TestReviewEarlyCrash(t *testing.T) {
+	cc := crashConfigs()[0] // vanilla+adr
+	h, m, g, pre := crashEnv(t, cc)
+	start := m.Now()
+	m.InjectFault(memsim.FaultPlan{CrashAtTime: start + 1})
+	_, err := g.Collect(4)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if _, err := m.MaterializeCrash(); err != nil {
+		t.Fatal(err)
+	}
+	rep, rerr := g.Recover()
+	t.Logf("outcome=%v journalActive=%v entriesUndone=%d err=%v", rep.Outcome, rep.JournalActive, rep.EntriesUndone, rerr)
+	if rerr != nil {
+		t.Fatalf("recover failed: %v", rerr)
+	}
+	if err := h.VerifyRecovered(pre); err != nil {
+		t.Fatalf("verify failed after outcome %v: %v", rep.Outcome, err)
+	}
+}
