@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-sim suite-quick crash-smoke
+.PHONY: build test verify bench bench-sim suite-quick crash-smoke topology-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,11 @@ verify: build
 # verification (full sweep: gcsim -crash-sweep).
 crash-smoke: build
 	$(GO) run ./cmd/gcsim -crash-sweep -quick -threads 4
+
+# topology-smoke runs the memory-tier sweep (young gen / write cache
+# across local DRAM, remote DRAM, and Optane) in quick mode.
+topology-smoke: build
+	$(GO) run ./cmd/nvmbench -run tier-sweep -quick
 
 # bench runs the simulator micro-benchmarks (testing.B) at the repo root.
 bench:

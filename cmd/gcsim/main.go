@@ -44,6 +44,9 @@ type options struct {
 	jsonOut    string
 	mixedEvery int
 	fullEvery  int
+
+	tiers []memsim.TierSpec     // non-empty for an explicit -topology
+	place heap.PlacementPolicy  // area -> tier overrides from the *-tier flags
 }
 
 func main() {
@@ -54,6 +57,11 @@ func main() {
 		config      = flag.String("config", "vanilla", "options: vanilla, writecache, all, async")
 		device      = flag.String("device", "nvm", "heap device: nvm or dram")
 		younDRAM    = flag.Bool("young-gen-dram", false, "allocate eden on DRAM")
+		topology    = flag.String("topology", "", "comma-separated memory-tier list replacing the default dram+nvm pair; each entry is a built-in tier name or alias=builtin (see -list-devices), e.g. 'local-dram,remote-dram,nvm=optane'")
+		listDevices = flag.Bool("list-devices", false, "list the built-in memory-tier profiles and exit")
+		youngTier   = flag.String("young-tier", "", "tier name for eden+survivor regions (default: placement policy)")
+		cacheTier   = flag.String("cache-tier", "", "tier name for write-cache regions (default: placement policy)")
+		metaTier    = flag.String("meta-tier", "", "tier name for the metadata/journal area (default: placement policy)")
 		threads     = flag.Int("threads", 16, "GC threads")
 		scale       = flag.Float64("scale", 0.5, "workload scale")
 		seed        = flag.Uint64("seed", 1, "workload RNG seed")
@@ -76,6 +84,27 @@ func main() {
 	if *apps {
 		for _, p := range workload.Profiles() {
 			fmt.Printf("%-18s %-11s survival %.2f  eden-fills %.1f\n", p.Name, p.Suite, p.Survival, p.EdenFills)
+		}
+		return
+	}
+
+	if *listDevices {
+		for _, s := range memsim.BuiltinTiers() {
+			attr := "volatile"
+			if s.Persistent {
+				attr = "persistent"
+				if s.EADR {
+					attr = "persistent+eadr"
+				}
+			}
+			extra := ""
+			if s.Interleave > 0 {
+				extra = fmt.Sprintf("  interleave %d", s.Interleave)
+			}
+			fmt.Printf("%-12s %-15s read %3dns/%2.0fGB/s  write %3dns/%2.0fGB/s (nt %2.0f)  gran %3dB%s\n",
+				s.Name, attr, s.Profile.ReadLatency, s.Profile.PeakReadBW,
+				s.Profile.WriteLatency, s.Profile.PeakWriteBW, s.Profile.NTWriteBW,
+				s.Profile.Granularity, extra)
 		}
 		return
 	}
@@ -134,9 +163,25 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown config %q", *config))
 	}
-	kind := memsim.NVM
-	if *device == "dram" {
+	var kind memsim.Kind
+	switch *device {
+	case "nvm":
+		kind = memsim.NVM
+	case "dram":
 		kind = memsim.DRAM
+	default:
+		fatal(fmt.Errorf("unknown -device %q (want nvm or dram; richer hosts use -topology, see -list-devices)", *device))
+	}
+	tiers, err := parseTopology(*topology)
+	if err != nil {
+		fatal(err)
+	}
+	place := heap.PlacementPolicy{
+		Eden: *youngTier, Survivor: *youngTier,
+		Cache: *cacheTier, Meta: *metaTier,
+	}
+	if err := validatePlacement(place, tiers); err != nil {
+		fatal(err)
 	}
 	if len(profs) > 1 && *jsonOut != "" && *jsonOut != "-" {
 		fatal(fmt.Errorf("-json to a file needs a single -app"))
@@ -147,6 +192,7 @@ func main() {
 		threads: *threads, scale: *scale, seed: *seed, trace: *trace,
 		eagerYield: *eager, jsonOut: *jsonOut,
 		mixedEvery: *mixedEvery, fullEvery: *fullEvery,
+		tiers: tiers, place: place,
 	}
 
 	// Each app gets its own Machine and is deterministic given the seed,
@@ -179,6 +225,58 @@ func main() {
 	}
 }
 
+// parseTopology turns the -topology flag into tier specs: a comma-separated
+// list of built-in tier names, each optionally renamed via alias=builtin.
+// Unknown names are an error, never a silent fallback.
+func parseTopology(s string) ([]memsim.TierSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var specs []memsim.TierSpec
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		name, src := item, item
+		if eq := strings.IndexByte(item, '='); eq >= 0 {
+			name, src = strings.TrimSpace(item[:eq]), strings.TrimSpace(item[eq+1:])
+		}
+		spec, ok := memsim.BuiltinTier(src)
+		if !ok {
+			return nil, fmt.Errorf("-topology: unknown tier %q (built-ins: %s)",
+				src, strings.Join(memsim.BuiltinTierNames(), ", "))
+		}
+		spec.Name = name
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// validatePlacement rejects *-tier flags naming tiers absent from the
+// machine the run will build (the default dram/nvm pair when -topology is
+// not given).
+func validatePlacement(place heap.PlacementPolicy, tiers []memsim.TierSpec) error {
+	if len(tiers) == 0 {
+		cfg := memsim.DefaultConfig()
+		tiers = memsim.DefaultTierSpecs(cfg.DRAM, cfg.NVM)
+	}
+	names := make([]string, len(tiers))
+	known := make(map[string]bool, len(tiers))
+	for i, ts := range tiers {
+		names[i] = ts.Name
+		known[ts.Name] = true
+	}
+	for _, want := range []struct{ flag, tier string }{
+		{"-young-tier", place.Eden},
+		{"-cache-tier", place.Cache},
+		{"-meta-tier", place.Meta},
+	} {
+		if want.tier != "" && !known[want.tier] {
+			return fmt.Errorf("%s: unknown tier %q (topology has: %s)",
+				want.flag, want.tier, strings.Join(names, ", "))
+		}
+	}
+	return nil
+}
+
 // runApp executes one application profile and writes its whole report to w.
 func runApp(w io.Writer, prof workload.Profile, o options) error {
 	mc := memsim.DefaultConfig()
@@ -186,10 +284,12 @@ func runApp(w io.Writer, prof workload.Profile, o options) error {
 		mc.TraceBucket = 0
 	}
 	mc.EagerYield = o.eagerYield
+	mc.Tiers = o.tiers
 	m := memsim.NewMachine(mc)
 	hc := heap.DefaultConfig()
 	hc.HeapKind = o.kind
 	hc.YoungOnDRAM = o.youngDRAM
+	hc.Placement = o.place
 	h, err := heap.New(m, hc)
 	if err != nil {
 		return err
@@ -218,6 +318,9 @@ func runApp(w io.Writer, prof workload.Profile, o options) error {
 
 	fmt.Fprintf(w, "%s on %s, %s %s, %d GC threads (virtual time)\n",
 		prof.Name, o.kind, col.Name(), o.opt.Label(), o.threads)
+	if len(o.tiers) > 0 {
+		fmt.Fprintf(w, "topology: %s\n", m.Topology())
+	}
 	fmt.Fprintf(w, "heap %d MiB, region %d KiB, eden %d regions\n\n",
 		h.HeapBytes()>>20, h.RegionBytes()>>10, hc.EdenRegions)
 
@@ -265,6 +368,13 @@ func runApp(w io.Writer, prof workload.Profile, o options) error {
 	fmt.Fprintf(w, "gc NVM traffic: %.1f MiB read, %.1f MiB written (%.1f writeback + %.1f non-temporal)\n",
 		float64(tot.NVM.ReadBytes)/(1<<20), float64(tot.NVM.WriteBytes)/(1<<20),
 		float64(tot.NVM.WritebackBytes)/(1<<20), float64(tot.NVM.NTBytes)/(1<<20))
+	if len(o.tiers) > 0 {
+		for _, tt := range tot.Tiers {
+			fmt.Fprintf(w, "gc tier %-12s %.1f MiB read, %.1f MiB written (%.1f writeback + %.1f non-temporal)\n",
+				tt.Name+":", float64(tt.Stats.ReadBytes)/(1<<20), float64(tt.Stats.WriteBytes)/(1<<20),
+				float64(tt.Stats.WritebackBytes)/(1<<20), float64(tt.Stats.NTBytes)/(1<<20))
+		}
+	}
 	fmt.Fprintf(w, "allocated: %.1f MiB\n", float64(res.Allocated)/(1<<20))
 
 	if o.trace {

@@ -32,6 +32,7 @@ func main() {
 		format  = flag.String("format", "table", "output format: table or csv")
 		out     = flag.String("o", "", "write output to file instead of stdout")
 
+		nvmTier  = flag.String("nvm-tier", "", "substitute a built-in tier profile for the persistent tier of every experiment machine (e.g. eadr-nvm; see gcsim -list-devices)")
 		parallel = flag.Int("parallel", 0, "host workers for fanning out experiment points (0 = NumCPU, 1 = serial); results are identical at any setting")
 		eager    = flag.Bool("eager-yield", false, "use the reference scheduler (yield before every device op); identical results, slower")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -79,7 +80,10 @@ func main() {
 
 	params := bench.Params{
 		Scale: *scale, Threads: *threads, Seed: *seed, Quick: *quick,
-		Parallel: *parallel, EagerYield: *eager,
+		Parallel: *parallel, EagerYield: *eager, NVMTier: *nvmTier,
+	}
+	if err := params.Validate(); err != nil {
+		fatal(err)
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)

@@ -36,6 +36,41 @@ type Params struct {
 	// (yield before each device op) instead of event-horizon lookahead.
 	// Results are identical; this exists to demonstrate that.
 	EagerYield bool
+	// NVMTier, when set, substitutes the named built-in tier profile
+	// (memsim.BuiltinTier) for the persistent tier of every experiment
+	// machine that does not already declare its own topology — e.g.
+	// "eadr-nvm" re-runs the whole suite on an eADR platform. Empty keeps
+	// the calibrated Optane default.
+	NVMTier string
+}
+
+// Validate rejects parameter values that would otherwise surface deep in
+// an experiment (front ends call it right after flag parsing).
+func (p Params) Validate() error {
+	if p.NVMTier != "" {
+		if _, ok := memsim.BuiltinTier(p.NVMTier); !ok {
+			return fmt.Errorf("bench: unknown NVM tier %q (built-ins: %s)",
+				p.NVMTier, strings.Join(memsim.BuiltinTierNames(), ", "))
+		}
+	}
+	return nil
+}
+
+// tierSpecs resolves Params.NVMTier into an explicit machine topology: the
+// standard DRAM tier plus the substituted persistent tier, which keeps the
+// conventional name "nvm" so every legacy placement keeps resolving. Nil
+// when no substitution was requested.
+func (p Params) tierSpecs() []memsim.TierSpec {
+	if p.NVMTier == "" {
+		return nil
+	}
+	spec, ok := memsim.BuiltinTier(p.NVMTier)
+	if !ok {
+		panic("bench: Params not validated: " + p.NVMTier)
+	}
+	spec.Name = "nvm"
+	spec.Persistent = true
+	return []memsim.TierSpec{{Name: "dram", Profile: memsim.DRAMProfile()}, spec}
 }
 
 func (p Params) scale() float64 {
@@ -122,6 +157,7 @@ func All() []Experiment {
 		{"abl-flush-chunk", "Flush-granularity ablation (Section 4.2)", AblFlushChunk},
 		{"abl-hm-threads", "Header-map threshold ablation (Section 3.3)", AblHeaderMapThreshold},
 		{"crash-sweep", "Power-failure campaign: recovery outcome x phase x config", CrashSweep},
+		{"tier-sweep", "Young generation and write cache across memory tiers", TierSweep},
 	}
 }
 
@@ -147,6 +183,13 @@ type runSpec struct {
 	seed        uint64
 	trace       bool
 	eager       bool
+
+	// tiers, when non-empty, replaces the default two-tier machine with an
+	// explicit topology; placement then maps heap areas onto its tier names
+	// (empty placement fields fall back to the heapKind/youngOnDRAM pair
+	// above, which only knows "dram" and "nvm").
+	tiers     []memsim.TierSpec
+	placement heap.PlacementPolicy
 }
 
 // machineConfig is the standard simulated host for all experiments.
@@ -170,7 +213,9 @@ func heapConfig(kind memsim.Kind, youngOnDRAM bool) heap.Config {
 
 // newHeapFor builds the standard heap for a spec on machine m.
 func newHeapFor(m *memsim.Machine, spec runSpec) (*heap.Heap, error) {
-	return heap.New(m, heapConfig(spec.heapKind, spec.youngOnDRAM))
+	hc := heapConfig(spec.heapKind, spec.youngOnDRAM)
+	hc.Placement = spec.placement
+	return heap.New(m, hc)
 }
 
 // runWith executes the spec's workload on an existing collector.
@@ -201,6 +246,9 @@ func runAll(p Params, specs []runSpec) ([]runOut, error) {
 	return par.Map(len(specs), p.Parallel, func(i int) (runOut, error) {
 		spec := specs[i]
 		spec.eager = p.EagerYield
+		if spec.tiers == nil {
+			spec.tiers = p.tierSpecs()
+		}
 		res, m, err := runOne(spec)
 		return runOut{res: res, m: m}, err
 	})
@@ -211,6 +259,7 @@ func runAll(p Params, specs []runSpec) ([]runOut, error) {
 func runOne(spec runSpec) (workload.Result, *memsim.Machine, error) {
 	mc := machineConfig(spec.trace)
 	mc.EagerYield = spec.eager
+	mc.Tiers = spec.tiers
 	m := memsim.NewMachine(mc)
 	h, err := newHeapFor(m, spec)
 	if err != nil {

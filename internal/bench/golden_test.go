@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"reflect"
 	"testing"
 
 	"nvmgc/internal/memsim"
@@ -99,7 +100,10 @@ func TestGoldenCollectionStats(t *testing.T) {
 				th, len(res1.Collections), len(res2.Collections))
 		}
 		for i := range res1.Collections {
-			if res1.Collections[i] != res2.Collections[i] {
+			// DeepEqual, not ==: the per-tier breakdown makes
+			// CollectionStats non-comparable, and the comparison must cover
+			// it anyway.
+			if !reflect.DeepEqual(res1.Collections[i], res2.Collections[i]) {
 				t.Fatalf("threads=%d: collection %d diverged:\n%+v\n%+v",
 					th, i, res1.Collections[i], res2.Collections[i])
 			}

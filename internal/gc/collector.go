@@ -128,7 +128,11 @@ func (b *base) collect(threads int, mode gcMode, oldCands []*heap.Region, markTi
 		return CollectionStats{}, fmt.Errorf("gc: thread count %d", threads)
 	}
 	m := b.h.Machine()
-	nvm0, dram0 := m.NVM.Stats(), m.DRAM.Stats()
+	tiers := m.Topology().Tiers()
+	tiers0 := make([]memsim.DeviceStats, len(tiers))
+	for i, t := range tiers {
+		tiers0[i] = t.Stats()
+	}
 
 	m.Mark("gc-start")
 	var cset []*heap.Region
@@ -179,8 +183,20 @@ func (b *base) collect(threads int, mode gcMode, oldCands []*heap.Region, markTi
 		s.JournalEntries = b.pl.appended
 		s.JournalBytes = b.pl.appended * journalEntryBytes
 	}
-	s.NVM = m.NVM.Stats().Sub(nvm0)
-	s.DRAM = m.DRAM.Stats().Sub(dram0)
+	// Per-tier traffic deltas, with the classic NVM/DRAM aggregates folded
+	// from the tier attributes (persistent tiers feed NVM, volatile ones
+	// DRAM) — identical to the old two-device readings under the default
+	// topology.
+	s.Tiers = make([]TierTraffic, len(tiers))
+	for i, t := range tiers {
+		delta := t.Stats().Sub(tiers0[i])
+		s.Tiers[i] = TierTraffic{Name: t.Spec().Name, Persistent: t.Persistent(), Stats: delta}
+		if t.Persistent() {
+			s.NVM = addStats(s.NVM, delta)
+		} else {
+			s.DRAM = addStats(s.DRAM, delta)
+		}
+	}
 	b.collections = append(b.collections, s)
 	return s, nil
 }

@@ -344,10 +344,10 @@ func (gw *gcWorker) persistFlush() {
 			c.persistLines = pd.DirtyLines()
 		}
 	}
-	dev := c.h.Machine().Device(c.h.Config().HeapKind)
 	var flushed int64
 	for i := gw.id; i < len(c.persistLines); i += c.threads {
-		gw.w.CLWB(dev, c.persistLines[i])
+		line := c.persistLines[i]
+		gw.w.CLWB(c.h.DevOf(line), line)
 		flushed++
 	}
 	gw.w.PersistFence()

@@ -12,25 +12,31 @@ import (
 
 // FuzzCrashRecovery drives the whole fault-injection loop from a fuzzed
 // crash point: kill the machine before the Nth NVM store of a collection
-// (with fuzzed torn-line / keep-pending media behavior and a fuzzed
-// persistence-enabled configuration), materialize the post-crash image,
-// recover, and require that (a) the post-crash scanner never calls a
-// region consistent when recovery later proves data was lost, and (b)
-// under ADR/eADR barriers recovery always reproduces the pre-GC graph.
+// (with fuzzed torn-line / keep-pending media behavior, a fuzzed
+// persistence-enabled configuration, and a fuzzed tier placement for the
+// metadata/journal area), materialize the post-crash image, recover, and
+// require that (a) the post-crash scanner never calls a region consistent
+// when recovery later proves data was lost, and (b) under ADR/eADR
+// barriers recovery always reproduces the pre-GC graph — wherever the
+// journal lives.
 func FuzzCrashRecovery(f *testing.F) {
-	f.Add(int64(1), uint8(0), false, false)
-	f.Add(int64(37), uint8(1), true, false)
-	f.Add(int64(1000), uint8(2), true, true)
-	f.Add(int64(25000), uint8(3), false, true)
-	f.Add(int64(90000), uint8(2), true, false)
-	f.Fuzz(func(t *testing.T, storeN int64, cfgIdx uint8, torn, keepPending bool) {
+	f.Add(int64(1), uint8(0), false, false, uint8(0))
+	f.Add(int64(37), uint8(1), true, false, uint8(1))
+	f.Add(int64(1000), uint8(2), true, true, uint8(2))
+	f.Add(int64(25000), uint8(3), false, true, uint8(0))
+	f.Add(int64(90000), uint8(2), true, false, uint8(1))
+	f.Fuzz(func(t *testing.T, storeN int64, cfgIdx uint8, torn, keepPending bool, metaPlace uint8) {
 		ccs := crashConfigs()
 		cc := ccs[int(cfgIdx)%len(ccs)]
 		if storeN < 0 {
 			storeN = -storeN
 		}
 		storeN = storeN%(1<<17) + 1
-		h, m, g, pre := crashEnv(t, cc)
+		// 0: default two-tier machine; 1: three-tier machine, journal on
+		// the extra persistent tier; 2: three-tier machine, journal on the
+		// primary NVM tier (the extra tier merely present).
+		metaTiers := []string{"", "nvm2", "nvm"}
+		h, m, g, pre := crashEnvPlaced(t, cc, metaTiers[int(metaPlace)%len(metaTiers)])
 		// The store counter accumulated the populate phase's stores; plant
 		// the crash relative to the collection's first store.
 		base := m.Persist().Stats().TrackedStores

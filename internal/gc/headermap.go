@@ -137,7 +137,7 @@ func (hm *HeaderMap) Get(w *memsim.Worker, old heap.Address) heap.Address {
 // for old (the paper extends the GC's prefetching to header-map lookups).
 func (hm *HeaderMap) PrefetchFor(w *memsim.Worker, old heap.Address) {
 	idx := (hm.hash(old) + 1) & hm.mask
-	w.Prefetch(hm.h.Machine().DRAM, hm.keyAddr(idx), 16, false)
+	w.Prefetch(hm.h.AuxDevice(), hm.keyAddr(idx), 16, false)
 }
 
 // Reset zeroes every entry without charging virtual time. Crash recovery
@@ -172,7 +172,7 @@ func (hm *HeaderMap) ClearStripe(w *memsim.Worker, id, n int) {
 		hm.h.Poke(hm.keyAddr(uint64(i)), 0)
 		hm.h.Poke(hm.valueAddr(uint64(i)), 0)
 	}
-	w.Write(hm.h.Machine().DRAM, hm.keyAddr(uint64(lo)), int64(hi-lo)*16, true)
+	w.Write(hm.h.AuxDevice(), hm.keyAddr(uint64(lo)), int64(hi-lo)*16, true)
 	if id == 0 {
 		hm.used = 0
 	}

@@ -102,7 +102,15 @@ func (b *base) Recover() (RecoveryReport, error) {
 	epoch, active, entries := readJournal(h)
 	rep.JournalActive = active
 
-	if b.pl != nil && !active {
+	// An idle journal header is ambiguous: either this collection's commit
+	// persisted (header epoch is the collection's own), or the crash struck
+	// inside the checkpoint window before begin's header line ever became
+	// durable (header still carries the previous epoch, and — since every
+	// journaled mutation is ordered after that header persist — nothing the
+	// collection wrote reached the media). Only the first case may roll
+	// forward; the second falls through to the rollback path below, which
+	// undoes an empty journal and restores the volatile bookkeeping.
+	if b.pl != nil && !active && epoch == b.pl.epoch {
 		// The journal committed: every line the collection wrote was
 		// already durable when the crash struck, so the collection is
 		// complete — finish its bookkeeping instead of undoing it.

@@ -40,12 +40,26 @@ func crashConfigs() []crashConfig {
 // contract: application data was persisted before GC entry), and captures
 // the pre-GC graph signature.
 func crashEnv(t *testing.T, cc crashConfig) (*heap.Heap, *memsim.Machine, *G1, heap.GraphSignature) {
+	return crashEnvPlaced(t, cc, "")
+}
+
+// crashEnvPlaced is crashEnv with the metadata/journal area placed on a
+// named tier of a three-tier topology (the default two-tier machine when
+// metaTier is empty). "nvm2" is a second persistent Optane tier; recovery
+// must be placement-independent, so the crash campaign and fuzzer also run
+// with the journal there.
+func crashEnvPlaced(t *testing.T, cc crashConfig, metaTier string) (*heap.Heap, *memsim.Machine, *G1, heap.GraphSignature) {
 	t.Helper()
 	cfg := memsim.DefaultConfig()
 	cfg.LLCBytes = 1 << 17
+	if metaTier != "" {
+		cfg.Tiers = append(memsim.DefaultTierSpecs(cfg.DRAM, cfg.NVM),
+			memsim.TierSpec{Name: "nvm2", Profile: memsim.OptaneProfile(), Persistent: true, Interleave: 6})
+	}
 	m := memsim.NewMachine(cfg)
 	m.EnablePersist(m.NVM, cc.eADR)
 	hc := heap.DefaultConfig()
+	hc.Placement.Meta = metaTier
 	hc.RegionBytes = 16 << 10
 	hc.HeapRegions = 256
 	hc.CacheRegions = 64
@@ -130,6 +144,37 @@ func TestCrashRecoveryAcrossPhases(t *testing.T) {
 				t.Fatalf("no crash point exercised rollback: %v", outcomes)
 			}
 		})
+	}
+}
+
+// TestCrashInsideCheckpointWindow crashes immediately after the collection
+// starts — inside the checkpoint window, before the journal header's
+// state=active line can persist. The durable image then shows an idle
+// journal carrying the previous epoch; recovery must read that as "nothing
+// of this collection reached the media" and roll the volatile bookkeeping
+// back, not mistake it for a committed journal and roll a barely-started
+// collection forward over live from-space data.
+func TestCrashInsideCheckpointWindow(t *testing.T) {
+	cc := crashConfigs()[0] // vanilla+adr
+	h, m, g, pre := crashEnv(t, cc)
+	start := m.Now()
+	m.InjectFault(memsim.FaultPlan{CrashAtTime: start + 1})
+	_, err := g.Collect(4)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if _, err := m.MaterializeCrash(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := g.Recover()
+	if err != nil {
+		t.Fatalf("recover failed (outcome %v, journalActive=%v): %v", rep.Outcome, rep.JournalActive, err)
+	}
+	if rep.Outcome == RecoveryRolledForward {
+		t.Fatalf("pre-checkpoint crash rolled forward: %+v", rep)
+	}
+	if err := h.VerifyRecovered(pre); err != nil {
+		t.Fatalf("verify failed after outcome %v: %v", rep.Outcome, err)
 	}
 }
 

@@ -38,8 +38,21 @@ type CollectionStats struct {
 	JournalBytes        int64
 	PersistFlushedLines int64 // cache lines CLWB'd by the end-of-GC barrier
 
-	NVM  memsim.DeviceStats // device traffic during the pause
-	DRAM memsim.DeviceStats
+	NVM  memsim.DeviceStats // aggregate persistent-tier traffic during the pause
+	DRAM memsim.DeviceStats // aggregate volatile-tier traffic during the pause
+
+	// Tiers is the per-tier traffic breakdown in topology order. Under the
+	// default two-tier topology it has exactly the "dram" and "nvm" entries
+	// (mirroring the DRAM/NVM aggregates above); richer topologies expose
+	// each tier's share here.
+	Tiers []TierTraffic
+}
+
+// TierTraffic is one memory tier's device traffic during a collection.
+type TierTraffic struct {
+	Name       string
+	Persistent bool
+	Stats      memsim.DeviceStats
 }
 
 // Totals aggregates collections.
@@ -50,6 +63,10 @@ type Totals struct {
 	BytesCopied int64
 	NVM         memsim.DeviceStats
 	DRAM        memsim.DeviceStats
+
+	// Tiers aggregates the per-tier breakdowns by tier name, in first-seen
+	// (topology) order.
+	Tiers []TierTraffic
 }
 
 // Accumulate folds one collection into the totals.
@@ -62,6 +79,29 @@ func (t *Totals) Accumulate(s CollectionStats) {
 	t.BytesCopied += s.BytesCopied
 	t.NVM = addStats(t.NVM, s.NVM)
 	t.DRAM = addStats(t.DRAM, s.DRAM)
+	for _, tt := range s.Tiers {
+		t.addTier(tt)
+	}
+}
+
+func (t *Totals) addTier(tt TierTraffic) {
+	for i := range t.Tiers {
+		if t.Tiers[i].Name == tt.Name {
+			t.Tiers[i].Stats = addStats(t.Tiers[i].Stats, tt.Stats)
+			return
+		}
+	}
+	t.Tiers = append(t.Tiers, tt)
+}
+
+// Tier returns the aggregated traffic of the named tier, or a zero value.
+func (t *Totals) Tier(name string) TierTraffic {
+	for _, tt := range t.Tiers {
+		if tt.Name == name {
+			return tt
+		}
+	}
+	return TierTraffic{Name: name}
 }
 
 func addStats(a, b memsim.DeviceStats) memsim.DeviceStats {

@@ -43,6 +43,10 @@ type Event struct {
 	NVMNTMB        float64 `json:"nvm_nt_mb"`
 	DRAMTotalMB    float64 `json:"dram_total_mb"`
 
+	// TierTotalMB is the per-tier total traffic breakdown by tier name
+	// (JSON maps encode with sorted keys, so output stays deterministic).
+	TierTotalMB map[string]float64 `json:"tier_total_mb,omitempty"`
+
 	HeaderMapHits      int64 `json:"hm_hits,omitempty"`
 	HeaderMapInstalls  int64 `json:"hm_installs,omitempty"`
 	HeaderMapFallbacks int64 `json:"hm_fallbacks,omitempty"`
@@ -83,6 +87,7 @@ func FromStats(seq int, collector string, opt gc.Options, threads int, s gc.Coll
 		NVMWritebackMB: mb(s.NVM.WritebackBytes),
 		NVMNTMB:        mb(s.NVM.NTBytes),
 		DRAMTotalMB:    mb(s.DRAM.Total()),
+		TierTotalMB:    tierTotals(s.Tiers),
 
 		HeaderMapHits:      s.HeaderMapHits,
 		HeaderMapInstalls:  s.HeaderMapInstalls,
@@ -96,6 +101,18 @@ func FromStats(seq int, collector string, opt gc.Options, threads int, s gc.Coll
 }
 
 func msF(t memsim.Time) float64 { return float64(t) / float64(memsim.Millisecond) }
+
+// tierTotals folds a per-tier traffic breakdown into name -> total MB.
+func tierTotals(tiers []gc.TierTraffic) map[string]float64 {
+	if len(tiers) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(tiers))
+	for _, tt := range tiers {
+		out[tt.Name] = mb(tt.Stats.Total())
+	}
+	return out
+}
 
 // Log is a sequence of collection events.
 type Log []Event

@@ -2,6 +2,7 @@ package gclog
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -17,6 +18,10 @@ func sampleLog() Log {
 			WriteOnly: 1 * memsim.Millisecond, BytesCopied: 2_000_000,
 			ObjectsCopied: 40_000, HeaderMapHits: 17,
 			NVM: memsim.DeviceStats{ReadBytes: 8_000_000, WriteBytes: 3_000_000, WritebackBytes: 1_000_000, NTBytes: 2_000_000},
+			Tiers: []gc.TierTraffic{
+				{Name: "dram", Stats: memsim.DeviceStats{ReadBytes: 500_000}},
+				{Name: "nvm", Persistent: true, Stats: memsim.DeviceStats{ReadBytes: 8_000_000, WriteBytes: 3_000_000}},
+			},
 		}),
 		FromStats(1, "g1", opt, 8, gc.CollectionStats{
 			Full: true, Pause: 20 * memsim.Millisecond, BytesCopied: 9_000_000,
@@ -38,7 +43,8 @@ func TestJSONRoundTrip(t *testing.T) {
 		t.Fatalf("roundtrip length %d != %d", len(got), len(l))
 	}
 	for i := range l {
-		if got[i] != l[i] {
+		// DeepEqual, not ==: the per-tier map makes Event non-comparable.
+		if !reflect.DeepEqual(got[i], l[i]) {
 			t.Fatalf("event %d mismatch:\n%+v\n%+v", i, got[i], l[i])
 		}
 	}

@@ -22,24 +22,78 @@ type Address = uint64
 // WordBytes is the size of a heap word.
 const WordBytes = 8
 
+// PlacementPolicy declares, per heap area, the name of the memory tier
+// (see memsim.Topology) backing it. Empty fields are resolved by
+// resolvePlacement from the deprecated Config.HeapKind/YoungOnDRAM pair —
+// the compatibility constructor for the classic two-tier machine. Every
+// name must resolve against the machine's topology; heap.New rejects
+// unknown tiers.
+type PlacementPolicy struct {
+	Eden      string // mutator allocation regions
+	Survivor  string // to-space survivor regions
+	Old       string // tenured regions
+	Humongous string // oversized allocations (today placed like Old)
+	Cache     string // the GC write cache's scratch regions
+	Aux       string // roots, header map, volatile metadata
+	Meta      string // the crash-consistency journal area
+}
+
+// withDefaults fills empty fields: Humongous follows Old; everything else
+// falls back to the compatibility mapping of the two-tier era (cache and
+// aux on "dram"; eden/survivor on "dram" iff YoungOnDRAM; old and meta on
+// the HeapKind device's conventional name).
+func (p PlacementPolicy) withDefaults(cfg Config) PlacementPolicy {
+	heapTier := "nvm"
+	if cfg.HeapKind == memsim.DRAM {
+		heapTier = "dram"
+	}
+	youngTier := heapTier
+	if cfg.YoungOnDRAM {
+		youngTier = "dram"
+	}
+	def := func(f *string, v string) {
+		if *f == "" {
+			*f = v
+		}
+	}
+	def(&p.Eden, youngTier)
+	def(&p.Survivor, youngTier)
+	def(&p.Old, heapTier)
+	def(&p.Humongous, p.Old)
+	def(&p.Cache, "dram")
+	def(&p.Aux, "dram")
+	def(&p.Meta, heapTier)
+	return p
+}
+
 // Config sizes the simulated heap.
 type Config struct {
 	RegionBytes  int64 // region size; must be a power of two multiple of 8
 	HeapRegions  int   // number of Java-heap regions
-	CacheRegions int   // DRAM scratch pool used by the GC write cache
-	AuxBytes     int64 // DRAM area for roots, header map, and metadata
+	CacheRegions int   // scratch pool used by the GC write cache
+	AuxBytes     int64 // area for roots, header map, and metadata
 
-	// MetaBytes sizes an NVM metadata area (after aux) that the GC's
+	// MetaBytes sizes a metadata area (after aux) that the GC's
 	// crash-consistency journal lives in. 0 (the default) allocates none
 	// and changes nothing else.
 	MetaBytes int64
 
-	HeapKind memsim.Kind // device backing the Java heap (NVM in the paper)
+	// Placement maps heap areas to memory-tier names. Zero-value fields
+	// are resolved from the deprecated HeapKind/YoungOnDRAM pair below
+	// (see PlacementPolicy.withDefaults), so existing configurations keep
+	// their exact behavior.
+	Placement PlacementPolicy
 
-	// YoungOnDRAM places the young generation (eden and survivor
-	// regions) on DRAM while the rest of the heap
-	// stays on HeapKind — the paper's "young-gen-dram" comparison point
-	// where spare DRAM serves allocation requests (Section 5.2).
+	// HeapKind is the deprecated two-tier way of picking the device
+	// backing the Java heap (NVM in the paper). Consulted only to fill
+	// empty Placement fields.
+	HeapKind memsim.Kind
+
+	// YoungOnDRAM is the deprecated two-tier way of placing the young
+	// generation (eden and survivor regions) on DRAM while the rest of
+	// the heap stays on HeapKind — the paper's "young-gen-dram"
+	// comparison point (Section 5.2). Consulted only to fill empty
+	// Placement fields.
 	YoungOnDRAM bool
 
 	EdenRegions     int // young-generation eden budget
@@ -82,7 +136,18 @@ type Heap struct {
 	auxStart, auxEnd     Address
 	auxTop               Address
 	metaStart, metaEnd   Address
-	metaDev              *memsim.Device
+
+	// Resolved placement: the device behind each heap area (see
+	// PlacementPolicy). place is the fully-resolved policy (no empty
+	// fields) for reporting.
+	place    PlacementPolicy
+	edenDev  *memsim.Device
+	survDev  *memsim.Device
+	oldDev   *memsim.Device
+	humoDev  *memsim.Device
+	cacheDev *memsim.Device
+	auxDev   *memsim.Device
+	metaDev  *memsim.Device
 
 	// pd mirrors the machine's persistence domain (nil when disabled);
 	// every backing-store mutation of a tracked device is hooked so an
@@ -147,14 +212,15 @@ func New(m *memsim.Machine, cfg Config) (*Heap, error) {
 	h.auxTop = h.auxStart
 	h.metaStart = h.auxEnd
 	h.metaEnd = h.metaStart + Address(cfg.MetaBytes)
-	h.metaDev = m.Device(cfg.HeapKind)
+	if err := h.resolvePlacement(); err != nil {
+		return nil, err
+	}
 
 	totalWords := (h.metaEnd - h.base) / WordBytes
 	h.words = make([]uint64, totalWords)
 
 	total := cfg.HeapRegions + cfg.CacheRegions
 	h.regions = make([]*Region, total)
-	heapDev := m.Device(cfg.HeapKind)
 	for i := 0; i < total; i++ {
 		start := h.heapStart + Address(i)*Address(cfg.RegionBytes)
 		r := &Region{
@@ -165,10 +231,10 @@ func New(m *memsim.Machine, cfg Config) (*Heap, error) {
 			Kind:  RegionFree,
 		}
 		if i < cfg.HeapRegions {
-			r.Dev = heapDev
+			r.Dev = h.oldDev
 			h.freeHeap = append(h.freeHeap, i)
 		} else {
-			r.Dev = m.DRAM
+			r.Dev = h.cacheDev
 			r.CachePool = true
 			h.freeCache = append(h.freeCache, i)
 		}
@@ -187,12 +253,93 @@ func New(m *memsim.Machine, cfg Config) (*Heap, error) {
 	// Hook into the machine's persistence domain (if one was enabled
 	// before the heap was built): the domain needs raw accessors to
 	// capture and restore line shadows without re-entering these hooks.
+	// Every persistent tier the placement touches joins the domain, so
+	// e.g. a journal placed on a second NVM tier is crash-tracked exactly
+	// like the primary heap device.
 	if pd := m.Persist(); pd != nil {
 		h.pd = pd
 		pd.SetBacking(h.rawPeek, h.rawPoke, h.base, h.metaEnd)
+		for _, dev := range []*memsim.Device{
+			h.edenDev, h.survDev, h.oldDev, h.humoDev, h.cacheDev, h.auxDev, h.metaDev,
+		} {
+			if t := m.TierOf(dev); t != nil && t.Persistent() {
+				pd.Track(dev)
+			}
+		}
 	}
 	return h, nil
 }
+
+// resolvePlacement validates the placement policy against the machine's
+// topology and binds each heap area to its device.
+func (h *Heap) resolvePlacement() error {
+	pol := h.cfg.Placement.withDefaults(h.cfg)
+	topo := h.m.Topology()
+	resolve := func(area, name string) (*memsim.Device, error) {
+		if t, ok := topo.Tier(name); ok {
+			return t.Device, nil
+		}
+		// The classic names keep working on any topology through the
+		// machine's alias semantics (first volatile / first persistent
+		// tier), so the compatibility defaults never force a richer
+		// topology to also name tiers "dram" and "nvm".
+		switch name {
+		case "dram":
+			return h.m.DRAM, nil
+		case "nvm":
+			return h.m.NVM, nil
+		}
+		return nil, fmt.Errorf("heap: placement: %s on unknown tier %q (topology has: %v)",
+			area, name, topo.Names())
+	}
+	var err error
+	if h.edenDev, err = resolve("eden", pol.Eden); err != nil {
+		return err
+	}
+	if h.survDev, err = resolve("survivor", pol.Survivor); err != nil {
+		return err
+	}
+	if h.oldDev, err = resolve("old", pol.Old); err != nil {
+		return err
+	}
+	if h.humoDev, err = resolve("humongous", pol.Humongous); err != nil {
+		return err
+	}
+	if h.cacheDev, err = resolve("cache", pol.Cache); err != nil {
+		return err
+	}
+	if h.auxDev, err = resolve("aux", pol.Aux); err != nil {
+		return err
+	}
+	if h.metaDev, err = resolve("meta", pol.Meta); err != nil {
+		return err
+	}
+	h.place = pol
+	return nil
+}
+
+// Placement returns the fully-resolved placement policy (no empty
+// fields).
+func (h *Heap) Placement() PlacementPolicy { return h.place }
+
+// EdenDevice returns the device backing eden regions.
+func (h *Heap) EdenDevice() *memsim.Device { return h.edenDev }
+
+// SurvivorDevice returns the device backing survivor regions.
+func (h *Heap) SurvivorDevice() *memsim.Device { return h.survDev }
+
+// OldDevice returns the device backing old (and humongous) regions.
+func (h *Heap) OldDevice() *memsim.Device { return h.oldDev }
+
+// CacheDevice returns the device backing the GC write cache's scratch
+// regions.
+func (h *Heap) CacheDevice() *memsim.Device { return h.cacheDev }
+
+// AuxDevice returns the device backing the aux area (roots, header map).
+func (h *Heap) AuxDevice() *memsim.Device { return h.auxDev }
+
+// MetaDevice returns the device backing the metadata/journal area.
+func (h *Heap) MetaDevice() *memsim.Device { return h.metaDev }
 
 func (h *Heap) rawPeek(addr uint64) uint64    { return h.words[h.index(addr)] }
 func (h *Heap) rawPoke(addr uint64, v uint64) { h.words[h.index(addr)] = v }
@@ -242,8 +389,9 @@ func (h *Heap) InYoung(addr Address) bool {
 	return r != nil && (r.Kind == RegionEden || r.Kind == RegionSurvivor)
 }
 
-// DevOf returns the device backing addr (aux space is DRAM, the meta
-// area sits on the heap device).
+// DevOf returns the device backing addr, following the placement policy:
+// regions carry their own device, the meta area sits on the meta tier,
+// and everything else (the aux area) on the aux tier.
 func (h *Heap) DevOf(addr Address) *memsim.Device {
 	if r := h.RegionOf(addr); r != nil {
 		return r.Dev
@@ -251,13 +399,13 @@ func (h *Heap) DevOf(addr Address) *memsim.Device {
 	if addr >= h.metaStart && addr < h.metaEnd {
 		return h.metaDev
 	}
-	return h.m.DRAM
+	return h.auxDev
 }
 
-// MetaBase returns the start of the NVM metadata area (journal space).
+// MetaBase returns the start of the metadata area (journal space).
 func (h *Heap) MetaBase() Address { return h.metaStart }
 
-// MetaBytes returns the size of the NVM metadata area.
+// MetaBytes returns the size of the metadata area.
 func (h *Heap) MetaBytes() int64 { return int64(h.metaEnd - h.metaStart) }
 
 func (h *Heap) index(addr Address) int {

@@ -135,9 +135,10 @@ func (rs *RemSet) Slots() []Address { return rs.slots }
 func (rs *RemSet) Clear() { rs.slots = rs.slots[:0] }
 
 // ClaimRegion takes a region from the free pool and assigns it a role.
-// For RegionCache it draws from the DRAM cache pool; every other kind
-// draws from the heap pool and is placed on dev (pass nil for the heap's
-// configured device).
+// For RegionCache it draws from the scratch cache pool; every other kind
+// draws from the heap pool. The region lands on the tier the heap's
+// placement policy declares for its kind, unless dev overrides it (pass
+// nil to follow the policy).
 func (h *Heap) ClaimRegion(kind RegionKind, dev *memsim.Device) (*Region, bool) {
 	var pool *[]int
 	if kind == RegionCache {
@@ -156,13 +157,15 @@ func (h *Heap) ClaimRegion(kind RegionKind, dev *memsim.Device) (*Region, bool) 
 	r.ClaimedInGC = h.inGC
 	switch {
 	case kind == RegionCache:
-		r.Dev = h.m.DRAM
+		r.Dev = h.cacheDev
 	case dev != nil:
 		r.Dev = dev
-	case (kind == RegionEden || kind == RegionSurvivor) && h.cfg.YoungOnDRAM:
-		r.Dev = h.m.DRAM
+	case kind == RegionEden:
+		r.Dev = h.edenDev
+	case kind == RegionSurvivor:
+		r.Dev = h.survDev
 	default:
-		r.Dev = h.m.Device(h.cfg.HeapKind)
+		r.Dev = h.oldDev
 	}
 	switch kind {
 	case RegionEden:

@@ -80,6 +80,26 @@ func DRAMProfile() Profile {
 	}
 }
 
+// RemoteDRAMProfile returns a NUMA-remote (or CXL-attached) DRAM device
+// model, following Akram et al.'s NUMA-based hybrid-memory emulation
+// (arXiv:1808.00064): crossing the interconnect costs roughly 1.8x the
+// local latency and halves the achievable bandwidth, and contention on
+// the link makes the node slightly more sensitive to the write mix than
+// local DRAM — while keeping DRAM's 64 B access granularity.
+func RemoteDRAMProfile() Profile {
+	return Profile{
+		Kind:         DRAM,
+		ReadLatency:  160,
+		WriteLatency: 160,
+		PeakReadBW:   30,
+		PeakWriteBW:  20,
+		NTWriteBW:    18,
+		Granularity:  64,
+		MixPenalty:   0.45,
+		NTMixPenalty: 0.3,
+	}
+}
+
 // OptaneProfile returns the default NVM device model, calibrated to six
 // interleaved Intel Optane DC PM DIMMs on one socket (the paper's setup),
 // following the measurements of Izraelevitz et al. and Yang et al.

@@ -7,8 +7,17 @@ import (
 
 // Config parameterizes a simulated machine.
 type Config struct {
+	// DRAM and NVM are the profiles of the classic two-tier topology.
+	// They are consulted only when Tiers is empty (the compatibility
+	// path): NewMachine then builds DefaultTierSpecs(DRAM, NVM).
 	DRAM Profile
 	NVM  Profile
+
+	// Tiers declares an explicit memory-tier topology (any count, in
+	// reporting order). When empty the machine gets the default two-tier
+	// "dram"/"nvm" set built from the DRAM and NVM profiles above, which
+	// is byte-identical to the pre-topology behavior.
+	Tiers []TierSpec
 
 	LLCBytes      int64 // last-level cache capacity
 	LLCAssoc      int
@@ -56,12 +65,19 @@ type PhaseMark struct {
 	Label string
 }
 
-// Machine is a simulated host: two memory devices behind a shared LLC and
-// a virtual clock. Parallel phases are executed with Run.
+// Machine is a simulated host: a topology of memory tiers behind a shared
+// LLC and a virtual clock. Parallel phases are executed with Run.
 type Machine struct {
+	// DRAM and NVM are compatibility aliases into the topology: DRAM is
+	// the tier named "dram" (else the first volatile tier, else the first
+	// tier), NVM the tier named "nvm" (else the first persistent tier,
+	// else the last tier). New code should resolve tiers by name via
+	// Topology instead.
 	DRAM *Device
 	NVM  *Device
 	LLC  *Cache
+
+	topo *Topology
 
 	now   Time
 	marks []PhaseMark
@@ -81,20 +97,60 @@ type Machine struct {
 	wdErr   *WatchdogError
 }
 
-// NewMachine builds a machine from the config.
+// NewMachine builds a machine from the config. An invalid explicit tier
+// topology (empty or duplicate names) is a programming error and panics;
+// command-line front ends validate tier lists before building machines.
 func NewMachine(cfg Config) *Machine {
 	wd := cfg.WatchdogSpins
 	if wd == 0 {
 		wd = defaultWatchdogSpins
 	}
-	return &Machine{
-		DRAM:       NewDevice("dram", cfg.DRAM, cfg.TraceBucket),
-		NVM:        NewDevice("nvm", cfg.NVM, cfg.TraceBucket),
+	specs := cfg.Tiers
+	if len(specs) == 0 {
+		specs = DefaultTierSpecs(cfg.DRAM, cfg.NVM)
+	}
+	topo, err := NewTopology(specs, cfg.TraceBucket)
+	if err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		topo:       topo,
 		LLC:        NewCache(cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCHitLatency),
 		eagerYield: cfg.EagerYield,
 		wdSpins:    wd,
 	}
+	m.DRAM = m.aliasTier("dram", false)
+	m.NVM = m.aliasTier("nvm", true)
+	return m
 }
+
+// aliasTier resolves a compatibility alias: the tier with the classic
+// name if present, else the first tier with the wanted persistence
+// attribute, else an end of the declaration order.
+func (m *Machine) aliasTier(name string, persistent bool) *Device {
+	if t, ok := m.topo.Tier(name); ok {
+		return t.Device
+	}
+	for _, t := range m.topo.Tiers() {
+		if t.Persistent() == persistent {
+			return t.Device
+		}
+	}
+	tiers := m.topo.Tiers()
+	if persistent {
+		return tiers[len(tiers)-1].Device
+	}
+	return tiers[0].Device
+}
+
+// Topology returns the machine's memory-tier topology.
+func (m *Machine) Topology() *Topology { return m.topo }
+
+// Tier returns the named tier of the machine's topology.
+func (m *Machine) Tier(name string) (*Tier, bool) { return m.topo.Tier(name) }
+
+// TierOf returns the tier owning dev, or nil for a foreign device.
+func (m *Machine) TierOf(dev *Device) *Tier { return m.topo.TierOf(dev) }
 
 // Now returns the machine's virtual clock (the end of the last phase).
 func (m *Machine) Now() Time { return m.now }

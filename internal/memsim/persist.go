@@ -82,7 +82,8 @@ type lineShadow struct {
 // and optionally the XPLine at the crash frontier tears.
 type PersistDomain struct {
 	m    *Machine
-	dev  *Device
+	dev  *Device          // primary tracked device (the first enabled)
+	devs map[*Device]bool // all tracked devices (see Track)
 	eADR bool
 
 	// peek/poke access the tracked backing store (the heap's word array)
@@ -110,6 +111,7 @@ type PersistDomain struct {
 func (m *Machine) EnablePersist(dev *Device, eADR bool) *PersistDomain {
 	pd := &PersistDomain{
 		m: m, dev: dev, eADR: eADR,
+		devs:    map[*Device]bool{dev: true},
 		dirty:   make(map[uint64]*lineShadow),
 		pending: make(map[uint64]*lineShadow),
 	}
@@ -117,6 +119,17 @@ func (m *Machine) EnablePersist(dev *Device, eADR bool) *PersistDomain {
 	m.LLC.onEvict = pd.onEvict
 	return pd
 }
+
+// Track extends the persistence domain over another persistent device
+// (e.g. a second NVM tier hosting the GC journal), so stores to it are
+// shadow-tracked and crash-materialized exactly like the primary device.
+// Tracking the primary device again is a no-op.
+func (pd *PersistDomain) Track(dev *Device) {
+	pd.devs[dev] = true
+}
+
+// Tracks reports whether the domain covers dev.
+func (pd *PersistDomain) Tracks(dev *Device) bool { return pd.devs[dev] }
 
 // Persist returns the machine's persistence domain, or nil.
 func (m *Machine) Persist() *PersistDomain { return m.pd }
@@ -144,7 +157,7 @@ func (pd *PersistDomain) Stats() PersistStats {
 }
 
 func (pd *PersistDomain) tracks(dev *Device, addr uint64) bool {
-	return !pd.disabled && dev == pd.dev && pd.peek != nil && addr >= pd.lo && addr < pd.hi
+	return !pd.disabled && pd.devs[dev] && pd.peek != nil && addr >= pd.lo && addr < pd.hi
 }
 
 // capture records shadows for every line of [addr, addr+n) not already
@@ -239,7 +252,7 @@ func (pd *PersistDomain) OnNT(dev *Device, addr uint64, n int64) {
 // onEvict is installed as the LLC's dirty-eviction hook: the written-back
 // line reaches the device write queue and is persisted.
 func (pd *PersistDomain) onEvict(dev *Device, lineAddr uint64) {
-	if pd.disabled || dev != pd.dev || pd.eADR {
+	if pd.disabled || !pd.devs[dev] || pd.eADR {
 		return
 	}
 	if _, ok := pd.dirty[lineAddr]; ok {
@@ -251,7 +264,7 @@ func (pd *PersistDomain) onEvict(dev *Device, lineAddr uint64) {
 
 // onCLWB moves a dirty line to pending (flushed, awaiting the fence).
 func (pd *PersistDomain) onCLWB(dev *Device, lineAddr uint64) {
-	if pd.disabled || dev != pd.dev {
+	if pd.disabled || !pd.devs[dev] {
 		return
 	}
 	pd.stats.CLWBs++

@@ -1,0 +1,42 @@
+package metrics
+
+import "fmt"
+
+// KeyedSums accumulates element-wise sums of numeric rows under string
+// keys, preserving first-seen key order. The experiment harness uses it to
+// fold per-collection, per-tier device counters into per-tier totals:
+// the key is the tier name and the row its counter vector, so adding a
+// tier to the topology adds a key instead of perturbing existing sums.
+type KeyedSums struct {
+	keys []string
+	sums map[string][]float64
+}
+
+// Add folds vals element-wise into the key's running sums. The first Add
+// for a key fixes its row width; later Adds must match it.
+func (k *KeyedSums) Add(key string, vals ...float64) {
+	if k.sums == nil {
+		k.sums = make(map[string][]float64)
+	}
+	row, ok := k.sums[key]
+	if !ok {
+		k.keys = append(k.keys, key)
+		k.sums[key] = append([]float64(nil), vals...)
+		return
+	}
+	if len(vals) != len(row) {
+		panic(fmt.Sprintf("metrics: KeyedSums.Add(%q): %d values, key has %d", key, len(vals), len(row)))
+	}
+	for i, v := range vals {
+		row[i] += v
+	}
+}
+
+// Keys returns the keys in first-seen order.
+func (k *KeyedSums) Keys() []string { return k.keys }
+
+// Get returns the key's accumulated sums (nil for an unknown key).
+func (k *KeyedSums) Get(key string) []float64 { return k.sums[key] }
+
+// Len returns the number of distinct keys.
+func (k *KeyedSums) Len() int { return len(k.keys) }

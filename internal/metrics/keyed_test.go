@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeyedSumsBasics(t *testing.T) {
+	var k KeyedSums
+	if k.Len() != 0 || k.Get("dram") != nil {
+		t.Fatalf("zero value not empty: len=%d get=%v", k.Len(), k.Get("dram"))
+	}
+	k.Add("dram", 1, 2, 3)
+	k.Add("nvm", 10, 20, 30)
+	k.Add("dram", 4, 5, 6)
+	if got := k.Get("dram"); !reflect.DeepEqual(got, []float64{5, 7, 9}) {
+		t.Fatalf("dram sums = %v", got)
+	}
+	if got := k.Get("nvm"); !reflect.DeepEqual(got, []float64{10, 20, 30}) {
+		t.Fatalf("nvm sums = %v", got)
+	}
+	if got := k.Keys(); !reflect.DeepEqual(got, []string{"dram", "nvm"}) {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+// TestKeyedSumsOrderStable pins first-seen ordering: tier tables must list
+// tiers in topology order no matter how collections interleave.
+func TestKeyedSumsOrderStable(t *testing.T) {
+	var k KeyedSums
+	for i := 0; i < 3; i++ {
+		k.Add("local-dram", 1)
+		k.Add("remote-dram", 1)
+		k.Add("nvm", 1)
+	}
+	want := []string{"local-dram", "remote-dram", "nvm"}
+	if got := k.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("keys = %v, want %v", got, want)
+	}
+}
+
+// TestKeyedSumsNewTierDoesNotPerturb is the aggregation contract behind
+// per-tier traffic reporting: introducing an extra tier's counters must
+// leave every existing key's sums bit-identical.
+func TestKeyedSumsNewTierDoesNotPerturb(t *testing.T) {
+	feed := func(k *KeyedSums, extraTier bool) {
+		for i := 0; i < 5; i++ {
+			k.Add("dram", float64(i), float64(2*i))
+			k.Add("nvm", float64(3*i), float64(i))
+			if extraTier {
+				k.Add("remote-dram", 100, 200)
+			}
+		}
+	}
+	var two, three KeyedSums
+	feed(&two, false)
+	feed(&three, true)
+	for _, key := range two.Keys() {
+		if !reflect.DeepEqual(two.Get(key), three.Get(key)) {
+			t.Fatalf("key %q perturbed by extra tier: %v vs %v", key, two.Get(key), three.Get(key))
+		}
+	}
+	if !reflect.DeepEqual(three.Get("remote-dram"), []float64{500, 1000}) {
+		t.Fatalf("remote-dram sums = %v", three.Get("remote-dram"))
+	}
+}
+
+func TestKeyedSumsWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on row-width mismatch")
+		}
+	}()
+	var k KeyedSums
+	k.Add("dram", 1, 2)
+	k.Add("dram", 1)
+}

@@ -3,11 +3,14 @@
 # on the current tree and records their ns/op next to the recorded
 # baseline (the pre-event-horizon scheduler at the seed commit 5a7bcd4,
 # measured on the same host via a git worktree with these benchmarks
-# copied in). Usage: scripts/bench_sim.sh [count]
+# copied in). Also regenerates results/BENCH_topology.json from the
+# memory-tier sweep (tier-sweep experiment, quick mode).
+# Usage: scripts/bench_sim.sh [count]
 set -eu
 cd "$(dirname "$0")/.."
 COUNT="${1:-3}"
 OUT=results/BENCH_sim.json
+TOPO_OUT=results/BENCH_topology.json
 
 RAW=$(go test -run '^$' -bench 'BenchmarkMachineRun|BenchmarkCacheTouchRange|BenchmarkYoungGC' \
 	-benchmem -count="$COUNT" . | tee /dev/stderr)
@@ -42,3 +45,28 @@ END {
 	printf "  }\n}\n" >> out
 }'
 echo "wrote $OUT"
+
+# Tier sweep: young generation / write cache across a three-tier topology
+# (local DRAM, remote DRAM, Optane). CSV rows wrap into a JSON document so
+# the per-tier GC traffic is archived next to the micro-benchmarks.
+go run ./cmd/nvmbench -run tier-sweep -quick -format csv | awk -v out="$TOPO_OUT" '
+BEGIN { FS = "," }
+/^#/ { next }
+ncols == 0 { ncols = NF; for (i = 1; i <= NF; i++) col[i] = $i; next }
+NF == ncols {
+	if (rows++) printf ",\n" >> out
+	else {
+		printf "{\n  \"generated_by\": \"scripts/bench_sim.sh\",\n" > out
+		printf "  \"command\": \"nvmbench -run tier-sweep -quick -format csv\",\n" >> out
+		printf "  \"rows\": [\n" >> out
+	}
+	printf "    {" >> out
+	for (i = 1; i <= NF; i++) {
+		if (i > 1) printf ", " >> out
+		if ($i + 0 == $i) printf "\"%s\": %s", col[i], $i >> out
+		else printf "\"%s\": \"%s\"", col[i], $i >> out
+	}
+	printf "}" >> out
+}
+END { printf "\n  ]\n}\n" >> out }'
+echo "wrote $TOPO_OUT"
