@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-sim suite-quick crash-smoke topology-smoke
+.PHONY: build test verify bench bench-sim suite-quick crash-smoke topology-smoke selfcheck-smoke fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,27 @@ crash-smoke: build
 # across local DRAM, remote DRAM, and Optane) in quick mode.
 topology-smoke: build
 	$(GO) run ./cmd/nvmbench -run tier-sweep -quick
+
+# selfcheck-smoke runs the differential-oracle campaign: 50 seeded random
+# workload traces replayed through the naive reference collector and every
+# real configuration ({G1, PS, +writecache, +all} x {2-tier, 3-tier}) with
+# phase-boundary invariant checks on, asserting identical live graphs.
+# Deterministic: same seeds, same verdict, at any -parallel setting.
+selfcheck-smoke: build
+	$(GO) run ./cmd/gcsim -selfcheck -selfcheck-runs 50 -selfcheck-ops 400
+
+# fuzz-smoke replays the checked-in crash-recovery corpus and fuzzes for
+# 30s on top (regression net for the crash points earlier PRs fixed).
+fuzz-smoke: build
+	$(GO) test ./internal/gc -run FuzzCrashRecovery -fuzz FuzzCrashRecovery -fuzztime 30s
+
+# cover enforces per-package coverage floors on the collector core.
+# -coverpkg merges cross-package hits (internal/heap is exercised mostly
+# by internal/gc's tests); -short keeps the instrumented bench suite
+# within CI budget.
+cover:
+	$(GO) test -short -covermode=atomic -coverpkg=./internal/... -coverprofile=cover.out ./internal/...
+	./scripts/cover_check.sh cover.out
 
 # bench runs the simulator micro-benchmarks (testing.B) at the repo root.
 bench:

@@ -10,6 +10,7 @@
 //	gcsim -app als -config writecache -trace
 //	gcsim -app page-rank,als,movie-lens -parallel 3
 //	gcsim -crash-sweep -threads 4
+//	gcsim -selfcheck -selfcheck-runs 50
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"nvmgc/internal/bench"
+	"nvmgc/internal/check/oracle"
 	"nvmgc/internal/gc"
 	"nvmgc/internal/gclog"
 	"nvmgc/internal/heap"
@@ -45,8 +47,8 @@ type options struct {
 	mixedEvery int
 	fullEvery  int
 
-	tiers []memsim.TierSpec     // non-empty for an explicit -topology
-	place heap.PlacementPolicy  // area -> tier overrides from the *-tier flags
+	tiers []memsim.TierSpec    // non-empty for an explicit -topology
+	place heap.PlacementPolicy // area -> tier overrides from the *-tier flags
 }
 
 func main() {
@@ -74,12 +76,20 @@ func main() {
 		crashSweep = flag.Bool("crash-sweep", false, "run the power-failure campaign (crash points across the GC pause x persistence configs) and exit")
 		quick      = flag.Bool("quick", false, "with -crash-sweep: a reduced smoke-sized sweep")
 
+		selfcheck     = flag.Bool("selfcheck", false, "run the differential selfcheck campaign (seeded random workloads through the reference collector vs every real configuration) and exit non-zero on divergence")
+		selfcheckRuns = flag.Int("selfcheck-runs", 50, "with -selfcheck: number of seeded workload traces")
+		selfcheckOps  = flag.Int("selfcheck-ops", 400, "with -selfcheck: operations per workload trace")
+
 		parallel = flag.Int("parallel", 0, "host workers for a comma-separated -app list (0 = NumCPU, 1 = serial); per-app output is identical at any setting")
 		eager    = flag.Bool("eager-yield", false, "use the reference scheduler (yield before every device op); identical results, slower")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *parallel < 0 {
+		fatal(fmt.Errorf("-parallel %d: negative worker count (0 means all cores, 1 serial)", *parallel))
+	}
 
 	if *apps {
 		for _, p := range workload.Profiles() {
@@ -105,6 +115,18 @@ func main() {
 				s.Name, attr, s.Profile.ReadLatency, s.Profile.PeakReadBW,
 				s.Profile.WriteLatency, s.Profile.PeakWriteBW, s.Profile.NTWriteBW,
 				s.Profile.Granularity, extra)
+		}
+		return
+	}
+
+	if *selfcheck {
+		rep, err := oracle.Campaign(*selfcheckRuns, *selfcheckOps, *seed, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.String())
+		if !rep.Passed() {
+			os.Exit(1)
 		}
 		return
 	}
@@ -149,28 +171,13 @@ func main() {
 			profs = append(profs, prof)
 		}
 	}
-	var opt gc.Options
-	switch *config {
-	case "vanilla":
-		opt = gc.Vanilla()
-	case "writecache":
-		opt = gc.WithWriteCache()
-	case "all":
-		opt = gc.Optimized()
-	case "async":
-		opt = gc.Optimized()
-		opt.AsyncFlush = true
-	default:
-		fatal(fmt.Errorf("unknown config %q", *config))
+	opt, err := parseConfig(*config)
+	if err != nil {
+		fatal(err)
 	}
-	var kind memsim.Kind
-	switch *device {
-	case "nvm":
-		kind = memsim.NVM
-	case "dram":
-		kind = memsim.DRAM
-	default:
-		fatal(fmt.Errorf("unknown -device %q (want nvm or dram; richer hosts use -topology, see -list-devices)", *device))
+	kind, err := parseDevice(*device)
+	if err != nil {
+		fatal(err)
 	}
 	tiers, err := parseTopology(*topology)
 	if err != nil {
@@ -222,6 +229,36 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// parseConfig maps the -config flag to collector options.
+func parseConfig(name string) (gc.Options, error) {
+	switch name {
+	case "vanilla":
+		return gc.Vanilla(), nil
+	case "writecache":
+		return gc.WithWriteCache(), nil
+	case "all":
+		return gc.Optimized(), nil
+	case "async":
+		opt := gc.Optimized()
+		opt.AsyncFlush = true
+		return opt, nil
+	default:
+		return gc.Options{}, fmt.Errorf("unknown config %q (want vanilla, writecache, all, or async)", name)
+	}
+}
+
+// parseDevice maps the -device flag to the heap's backing memory kind.
+func parseDevice(name string) (memsim.Kind, error) {
+	switch name {
+	case "nvm":
+		return memsim.NVM, nil
+	case "dram":
+		return memsim.DRAM, nil
+	default:
+		return 0, fmt.Errorf("unknown -device %q (want nvm or dram; richer hosts use -topology, see -list-devices)", name)
 	}
 }
 

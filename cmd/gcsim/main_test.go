@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+)
+
+func TestParseConfig(t *testing.T) {
+	for _, name := range []string{"vanilla", "writecache", "all", "async"} {
+		if _, err := parseConfig(name); err != nil {
+			t.Errorf("parseConfig(%q): %v", name, err)
+		}
+	}
+	opt, err := parseConfig("async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.AsyncFlush {
+		t.Errorf("async config did not enable AsyncFlush")
+	}
+	if _, err := parseConfig("turbo"); err == nil {
+		t.Errorf("parseConfig accepted unknown config")
+	} else if !strings.Contains(err.Error(), "turbo") {
+		t.Errorf("error does not name the bad config: %v", err)
+	}
+}
+
+func TestParseDevice(t *testing.T) {
+	if k, err := parseDevice("nvm"); err != nil || k != memsim.NVM {
+		t.Errorf("parseDevice(nvm) = %v, %v", k, err)
+	}
+	if k, err := parseDevice("dram"); err != nil || k != memsim.DRAM {
+		t.Errorf("parseDevice(dram) = %v, %v", k, err)
+	}
+	if _, err := parseDevice("optane"); err == nil {
+		t.Errorf("parseDevice accepted unknown device")
+	} else if !strings.Contains(err.Error(), "optane") {
+		t.Errorf("error does not name the bad device: %v", err)
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	if tiers, err := parseTopology(""); err != nil || tiers != nil {
+		t.Errorf("empty topology: %v, %v", tiers, err)
+	}
+	tiers, err := parseTopology("local-dram, remote-dram, pm=optane")
+	if err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	if len(tiers) != 3 {
+		t.Fatalf("expected 3 tiers, got %d", len(tiers))
+	}
+	if tiers[2].Name != "pm" {
+		t.Errorf("alias not applied: %q", tiers[2].Name)
+	}
+	_, err = parseTopology("local-dram,bogus-tier")
+	if err == nil {
+		t.Fatalf("unknown tier accepted")
+	}
+	if !strings.Contains(err.Error(), "bogus-tier") || !strings.Contains(err.Error(), "built-ins") {
+		t.Errorf("error should name the tier and list built-ins: %v", err)
+	}
+}
+
+func TestValidatePlacement(t *testing.T) {
+	// Default topology: dram and nvm exist, anything else does not.
+	if err := validatePlacement(heap.PlacementPolicy{Eden: "dram", Meta: "nvm"}, nil); err != nil {
+		t.Errorf("default-topology placement rejected: %v", err)
+	}
+	err := validatePlacement(heap.PlacementPolicy{Cache: "remote-dram"}, nil)
+	if err == nil {
+		t.Fatalf("placement on a tier missing from the default topology accepted")
+	}
+	if !strings.Contains(err.Error(), "-cache-tier") || !strings.Contains(err.Error(), "remote-dram") {
+		t.Errorf("error should name the flag and the tier: %v", err)
+	}
+	// Explicit topology: the same tier name is now valid.
+	tiers, err := parseTopology("local-dram,remote-dram,nvm=optane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validatePlacement(heap.PlacementPolicy{Cache: "remote-dram"}, tiers); err != nil {
+		t.Errorf("placement on an explicit-topology tier rejected: %v", err)
+	}
+	if err := validatePlacement(heap.PlacementPolicy{Eden: "dram"}, tiers); err == nil {
+		t.Errorf("-young-tier naming a tier absent from the explicit topology accepted")
+	}
+}

@@ -59,13 +59,9 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	var ids []string
-	if *run == "all" {
-		for _, e := range bench.All() {
-			ids = append(ids, e.ID)
-		}
-	} else {
-		ids = strings.Split(*run, ",")
+	ids, err := resolveRunIDs(*run)
+	if err != nil {
+		fatal(err)
 	}
 
 	w := os.Stdout
@@ -86,11 +82,7 @@ func main() {
 		fatal(err)
 	}
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		e, ok := bench.ByID(id)
-		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (try -list)", id))
-		}
+		e, _ := bench.ByID(id)
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "running %s...\n", id)
 		rep, err := e.Run(params)
@@ -117,6 +109,28 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// resolveRunIDs expands the -run flag into a validated experiment id
+// list: "all" means every registered experiment, anything else is a
+// comma-separated list where every id must exist.
+func resolveRunIDs(run string) ([]string, error) {
+	if run == "all" {
+		var ids []string
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+		return ids, nil
+	}
+	var ids []string
+	for _, id := range strings.Split(run, ",") {
+		id = strings.TrimSpace(id)
+		if _, ok := bench.ByID(id); !ok {
+			return nil, fmt.Errorf("unknown experiment %q (try -list)", id)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nvmgc/internal/bench"
+)
+
+func TestResolveRunIDsAll(t *testing.T) {
+	ids, err := resolveRunIDs("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(bench.All()) {
+		t.Fatalf("'all' resolved to %d ids, registry has %d", len(ids), len(bench.All()))
+	}
+}
+
+func TestResolveRunIDsList(t *testing.T) {
+	ids, err := resolveRunIDs("fig5, fig1,tab-prefetch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fig5", "fig1", "tab-prefetch"}
+	if len(ids) != len(want) {
+		t.Fatalf("got %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("got %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestResolveRunIDsUnknown(t *testing.T) {
+	_, err := resolveRunIDs("fig5,fig99")
+	if err == nil {
+		t.Fatalf("unknown experiment id accepted")
+	}
+	if !strings.Contains(err.Error(), "fig99") || !strings.Contains(err.Error(), "-list") {
+		t.Errorf("error should name the id and point at -list: %v", err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (bench.Params{Scale: 0.5}).Validate(); err != nil {
+		t.Errorf("default params rejected: %v", err)
+	}
+	if err := (bench.Params{Parallel: -1}).Validate(); err == nil {
+		t.Errorf("negative parallel accepted")
+	}
+	if err := (bench.Params{NVMTier: "eadr-nvm"}).Validate(); err != nil {
+		t.Errorf("built-in NVM tier rejected: %v", err)
+	}
+	err := (bench.Params{NVMTier: "no-such-tier"}).Validate()
+	if err == nil {
+		t.Fatalf("unknown NVM tier accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-tier") {
+		t.Errorf("error should name the tier: %v", err)
+	}
+}

@@ -47,6 +47,9 @@ type Params struct {
 // Validate rejects parameter values that would otherwise surface deep in
 // an experiment (front ends call it right after flag parsing).
 func (p Params) Validate() error {
+	if p.Parallel < 0 {
+		return fmt.Errorf("bench: negative parallel %d (0 means all cores, 1 serial)", p.Parallel)
+	}
 	if p.NVMTier != "" {
 		if _, ok := memsim.BuiltinTier(p.NVMTier); !ok {
 			return fmt.Errorf("bench: unknown NVM tier %q (built-ins: %s)",

@@ -1,0 +1,154 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"nvmgc/internal/heap"
+)
+
+// Obj is the canonical, address-free form of one live object: its class,
+// size, reference slots rewritten to discovery ids, and primitive payload
+// words. Two heaps hold the same live graph iff their snapshots are equal
+// element-wise — discovery ids play the role of the isomorphism.
+type Obj struct {
+	Klass string
+	Size  int64 // total size in words, header included
+	Refs  []int // ref slots in offset order: target's discovery id, -1 for nil
+	Prims []uint64
+}
+
+// Snapshot is the canonical form of a heap's live graph, generalizing the
+// hash-only heap.Signature: it keeps enough structure to name the first
+// difference between two graphs instead of just detecting one.
+type Snapshot struct {
+	Roots   []int // discovery id per non-nil root slot, in slot order
+	Objects []Obj // indexed by discovery id
+}
+
+// Capture traverses the live graph from the root set (the same
+// deterministic depth-first order as heap.Signature) and returns its
+// canonical snapshot. Traversal is uncharged. Malformed objects and
+// leftover forwarding marks are errors.
+func Capture(h *heap.Heap) (*Snapshot, error) {
+	ids := make(map[heap.Address]int)
+	var order []heap.Address
+	var stack []heap.Address
+	push := func(ref heap.Address) int {
+		if id, ok := ids[ref]; ok {
+			return id
+		}
+		id := len(order)
+		ids[ref] = id
+		order = append(order, ref)
+		stack = append(stack, ref)
+		return id
+	}
+
+	snap := &Snapshot{}
+	h.Roots.ForEach(func(slot heap.Address) {
+		if ref := h.Peek(slot); ref != 0 {
+			snap.Roots = append(snap.Roots, push(ref))
+		}
+	})
+
+	objs := make(map[int]Obj)
+	for len(stack) > 0 {
+		obj := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		k, size := h.PeekObject(obj)
+		if k == nil {
+			return nil, fmt.Errorf("canon: malformed object at %#x", obj)
+		}
+		if heap.IsForwarded(h.Peek(heap.MarkAddr(obj))) {
+			return nil, fmt.Errorf("canon: live object %#x carries a forwarding mark", obj)
+		}
+		o := Obj{Klass: k.Name, Size: size}
+		for off := int64(heap.HeaderWords); off < size; off++ {
+			v := h.Peek(heap.SlotAddr(obj, off))
+			if k.IsRefSlot(off, size) {
+				if v == 0 {
+					o.Refs = append(o.Refs, -1)
+				} else {
+					o.Refs = append(o.Refs, push(v))
+				}
+			} else {
+				o.Prims = append(o.Prims, v)
+			}
+		}
+		objs[ids[obj]] = o
+	}
+	snap.Objects = make([]Obj, len(order))
+	for id, o := range objs {
+		snap.Objects[id] = o
+	}
+	return snap, nil
+}
+
+// Diff compares two snapshots and describes the first difference found
+// (nil when the graphs are identical). got is the snapshot under test,
+// want the reference.
+func Diff(got, want *Snapshot) error {
+	if len(got.Roots) != len(want.Roots) {
+		return fmt.Errorf("canon: %d live roots, reference has %d", len(got.Roots), len(want.Roots))
+	}
+	for i := range got.Roots {
+		if got.Roots[i] != want.Roots[i] {
+			return fmt.Errorf("canon: root slot %d reaches object #%d, reference reaches #%d",
+				i, got.Roots[i], want.Roots[i])
+		}
+	}
+	if len(got.Objects) != len(want.Objects) {
+		return fmt.Errorf("canon: %d live objects, reference has %d", len(got.Objects), len(want.Objects))
+	}
+	for id := range got.Objects {
+		g, w := &got.Objects[id], &want.Objects[id]
+		if g.Klass != w.Klass || g.Size != w.Size {
+			return fmt.Errorf("canon: object #%d is %s[%d words], reference has %s[%d words]",
+				id, g.Klass, g.Size, w.Klass, w.Size)
+		}
+		if len(g.Refs) != len(w.Refs) {
+			return fmt.Errorf("canon: object #%d (%s) has %d ref slots, reference has %d",
+				id, g.Klass, len(g.Refs), len(w.Refs))
+		}
+		for j := range g.Refs {
+			if g.Refs[j] != w.Refs[j] {
+				return fmt.Errorf("canon: object #%d (%s) ref slot %d points at %s, reference points at %s",
+					id, g.Klass, j, refName(g.Refs[j]), refName(w.Refs[j]))
+			}
+		}
+		for j := range g.Prims {
+			if g.Prims[j] != w.Prims[j] {
+				return fmt.Errorf("canon: object #%d (%s) payload word %d is %#x, reference has %#x",
+					id, g.Klass, j, g.Prims[j], w.Prims[j])
+			}
+		}
+	}
+	return nil
+}
+
+func refName(id int) string {
+	if id < 0 {
+		return "nil"
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+// Summary renders a one-line description of a snapshot for reports.
+func (s *Snapshot) Summary() string {
+	var bytes int64
+	counts := map[string]int{}
+	for _, o := range s.Objects {
+		bytes += o.Size * heap.WordBytes
+		counts[o.Klass]++
+	}
+	parts := make([]string, 0, len(counts))
+	for _, o := range s.Objects {
+		if n, ok := counts[o.Klass]; ok {
+			parts = append(parts, fmt.Sprintf("%d %s", n, o.Klass))
+			delete(counts, o.Klass)
+		}
+	}
+	return fmt.Sprintf("%d roots, %d objects (%d bytes): %s",
+		len(s.Roots), len(s.Objects), bytes, strings.Join(parts, ", "))
+}

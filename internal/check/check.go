@@ -1,0 +1,113 @@
+// Package check is the deterministic-simulation-testing safety net for
+// the GC stack: a whole-heap invariant checker callable at every GC phase
+// boundary (behind gc.Options.Check), and a canonical live-graph snapshot
+// used by the differential oracle in check/oracle to compare collectors.
+//
+// The package deliberately imports only heap and memsim so the gc package
+// can call into it; everything that needs a collector (the reference
+// semispace collector, trace replay, the selfcheck campaign) lives in the
+// check/oracle sub-package.
+//
+// Every check is Peek-based — no virtual time is charged and no simulated
+// memory is touched — so enabling checks can never change a figure.
+package check
+
+import (
+	"fmt"
+
+	"nvmgc/internal/heap"
+)
+
+// Boundary names a GC phase boundary the invariant checker understands.
+type Boundary int
+
+const (
+	// PreGC runs before the collection set is formed: the heap is in its
+	// steady mutator state.
+	PreGC Boundary = iota
+	// PostReadMostly runs at the barrier ending the copy-and-traverse
+	// sub-phase: every live object has been copied and every processed
+	// slot updated, but cached regions are not yet written back.
+	PostReadMostly
+	// PostWriteOnly runs at the barrier ending the write-back sub-phase:
+	// every cache region has been flushed and recycled.
+	PostWriteOnly
+	// PostGC runs after FinishCollection: the heap is back in its steady
+	// mutator state with the collection set retired.
+	PostGC
+)
+
+// String returns the boundary name.
+func (b Boundary) String() string {
+	switch b {
+	case PreGC:
+		return "pre-gc"
+	case PostReadMostly:
+		return "post-read-mostly"
+	case PostWriteOnly:
+		return "post-write-only"
+	case PostGC:
+		return "post-gc"
+	default:
+		return fmt.Sprintf("Boundary(%d)", int(b))
+	}
+}
+
+// HeaderMapView is the checker's read-only window onto the gc package's
+// DRAM header map (an interface, so check need not import gc).
+type HeaderMapView interface {
+	// Entries returns the map capacity in entries.
+	Entries() int
+	// Used returns the number of occupied entries.
+	Used() int64
+	// PeekEntry reads entry i's key and value words, uncharged.
+	PeekEntry(i int) (key, val uint64)
+}
+
+// State is the collector state visible to a boundary check.
+type State struct {
+	Heap *heap.Heap
+
+	// HeaderMap is the collector's header map, nil when the optimization
+	// is off (or inactive this cycle, for mid-phase boundaries).
+	HeaderMap HeaderMapView
+
+	// PersistCommitted marks a PostGC boundary reached through a persist
+	// barrier and journal commit: every line the collection dirtied must
+	// already be durable.
+	PersistCommitted bool
+}
+
+// Violation is one broken invariant: which boundary, which rule, and the
+// concrete evidence. It is the error type every checker entry point
+// returns.
+type Violation struct {
+	Boundary Boundary
+	Rule     string // stable rule identifier, e.g. "remset-superset"
+	Detail   string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("check[%s/%s]: %s", v.Boundary, v.Rule, v.Detail)
+}
+
+func violate(b Boundary, rule, format string, args ...any) error {
+	return &Violation{Boundary: b, Rule: rule, Detail: fmt.Sprintf(format, args...)}
+}
+
+// AtBoundary runs every invariant that must hold at boundary b and returns
+// the first violation found (nil if the heap is consistent). All checks
+// are uncharged.
+func AtBoundary(b Boundary, s State) error {
+	switch b {
+	case PreGC, PostGC:
+		return checkIdle(b, s)
+	case PostReadMostly:
+		return checkReadMostly(b, s)
+	case PostWriteOnly:
+		return checkWriteOnly(b, s)
+	default:
+		return violate(b, "boundary", "unknown boundary")
+	}
+}

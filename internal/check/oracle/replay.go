@@ -1,0 +1,425 @@
+package oracle
+
+import (
+	"fmt"
+
+	"nvmgc/internal/check"
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+)
+
+// Object kinds the trace vocabulary knows.
+const (
+	kNode = iota
+	kPrim
+	kRef
+)
+
+// mObj mirrors one heap object on the host: the model the replayer keeps
+// to make op-skip decisions (an op touching a dead object is skipped)
+// deterministically across every collector configuration, independent of
+// where implicit collections happen to fire.
+type mObj struct {
+	kind  int
+	size  int64
+	refs  []int // model edges by ref-slot index: target id, -1 for nil
+	alive bool
+	addr  heap.Address // current heap address; re-resolved after each GC
+}
+
+type rootEnt struct {
+	id   int
+	slot heap.Address
+}
+
+// Result is one replay's observable outcome: the canonical live-graph
+// snapshots captured after every explicit OpGC and at trace end. Two
+// correct collectors replaying the same trace must produce equal Results.
+type Result struct {
+	Snapshots []*check.Snapshot
+	GCs       int // collections run, implicit ones included
+}
+
+type replayer struct {
+	h       *heap.Heap
+	m       *memsim.Machine
+	collect func(kind int) error
+
+	node, prim, refArr *heap.Klass
+
+	objs  []*mObj // by id; holes where a shrunk trace dropped the alloc
+	roots []rootEnt
+	res   Result
+}
+
+// Replay drives one trace against a heap and collector. collect runs one
+// collection of the given kind (0 young, 1 mixed, 2 full) — collectors
+// without mixed/full support may substitute young. The returned error is
+// an infrastructure or invariant failure; graph divergence is detected by
+// diffing Results across runs.
+func Replay(h *heap.Heap, m *memsim.Machine, collect func(kind int) error, ops []Op) (*Result, error) {
+	rp := &replayer{
+		h:       h,
+		m:       m,
+		collect: collect,
+		node:    h.Klasses.ByName("node"),
+		prim:    h.Klasses.ByName("prim[]"),
+		refArr:  h.Klasses.ByName("ref[]"),
+	}
+	if rp.node == nil || rp.prim == nil || rp.refArr == nil {
+		return nil, fmt.Errorf("oracle: heap lacks the trace klasses (node, prim[], ref[])")
+	}
+	for i, op := range ops {
+		if err := rp.step(op); err != nil {
+			return nil, fmt.Errorf("op %d (%s): %w", i, op, err)
+		}
+	}
+	snap, err := check.Capture(h)
+	if err != nil {
+		return nil, fmt.Errorf("final snapshot: %w", err)
+	}
+	rp.res.Snapshots = append(rp.res.Snapshots, snap)
+	return &rp.res, nil
+}
+
+func (rp *replayer) step(op Op) error {
+	switch op.Kind {
+	case OpAllocNode, OpAllocPrim, OpAllocRef:
+		return rp.alloc(op)
+	case OpLink:
+		return rp.link(op)
+	case OpUnlink:
+		return rp.unlink(op)
+	case OpRootAdd:
+		return rp.rootAdd(op)
+	case OpRootDrop:
+		return rp.rootDrop(op)
+	case OpSetPrim:
+		return rp.setPrim(op)
+	case OpGC:
+		if err := rp.runGC(op.A % 3); err != nil {
+			return err
+		}
+		snap, err := check.Capture(rp.h)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		rp.res.Snapshots = append(rp.res.Snapshots, snap)
+		return nil
+	default:
+		return fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+}
+
+// live returns the model object for id if it is still model-reachable,
+// nil otherwise (also for ids whose alloc a shrunk trace dropped).
+func (rp *replayer) live(id int) *mObj {
+	if id < 0 || id >= len(rp.objs) {
+		return nil
+	}
+	o := rp.objs[id]
+	if o == nil || !o.alive {
+		return nil
+	}
+	return o
+}
+
+func (rp *replayer) klassFor(o *mObj) *heap.Klass {
+	switch o.kind {
+	case kPrim:
+		return rp.prim
+	case kRef:
+		return rp.refArr
+	default:
+		return rp.node
+	}
+}
+
+// refOffset maps a model ref-slot index to the heap word offset.
+// The node klass has ref slots at offsets 2 and 3; ref arrays hold one
+// reference per payload word.
+func (o *mObj) refOffset(j int) int64 {
+	if o.kind == kNode {
+		return int64(2 + j)
+	}
+	return int64(heap.HeaderWords + j)
+}
+
+// refSlot normalizes a trace slot selector to a valid ref-slot index, or
+// -1 when the object has none.
+func (o *mObj) refSlot(sel uint64) int {
+	if len(o.refs) == 0 {
+		return -1
+	}
+	return int(sel % uint64(len(o.refs)))
+}
+
+// primOffset normalizes a trace selector to a primitive word offset, or
+// -1 when the object has none.
+func (o *mObj) primOffset(sel int) int64 {
+	switch o.kind {
+	case kNode: // offsets 4..7 hold the payload
+		return int64(4 + sel%4)
+	case kPrim:
+		n := o.size - heap.HeaderWords
+		if n <= 0 {
+			return -1
+		}
+		return heap.HeaderWords + int64(sel)%n
+	default:
+		return -1
+	}
+}
+
+func (rp *replayer) alloc(op Op) error {
+	var kind int
+	var k *heap.Klass
+	var size int64
+	switch op.Kind {
+	case OpAllocPrim:
+		kind, k, size = kPrim, rp.prim, int64(op.Val)
+	case OpAllocRef:
+		kind, k, size = kRef, rp.refArr, int64(op.Val)
+	default:
+		kind, k, size = kNode, rp.node, 8
+	}
+	addr, err := rp.allocate(k, size)
+	if err != nil {
+		return err
+	}
+	o := &mObj{kind: kind, size: size, alive: true, addr: addr}
+	if n := k.RefCount(size); n > 0 {
+		o.refs = make([]int, n)
+		for i := range o.refs {
+			o.refs[i] = -1
+		}
+	}
+	for len(rp.objs) <= op.A {
+		rp.objs = append(rp.objs, nil)
+	}
+	rp.objs[op.A] = o
+	if op.Kind == OpAllocNode {
+		rp.m.Run(1, func(w *memsim.Worker) {
+			rp.h.WriteWord(w, heap.SlotAddr(addr, 4), op.Val)
+		})
+	}
+	return nil
+}
+
+// allocate tries eden, collecting (young, then full) when it is
+// exhausted, like a mutator's allocation slow path.
+func (rp *replayer) allocate(k *heap.Klass, size int64) (heap.Address, error) {
+	for attempt := 0; ; attempt++ {
+		var a heap.Address
+		var ok bool
+		rp.m.Run(1, func(w *memsim.Worker) {
+			a, ok = rp.h.AllocateEden(w, k, size)
+		})
+		if ok {
+			return a, nil
+		}
+		if err := rp.h.AllocError(); err != nil {
+			return 0, err
+		}
+		if attempt >= 2 {
+			return 0, fmt.Errorf("allocation of %d words failed after %d collections", size, attempt)
+		}
+		kind := 0
+		if attempt == 1 {
+			kind = 2 // a young collection did not free enough: full GC
+		}
+		if err := rp.runGC(kind); err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (rp *replayer) runGC(kind int) error {
+	// Unattached allocations (and anything stranded since the last sweep)
+	// die now: the collector is about to reclaim them. GC timing is
+	// identical across configurations — eden exhaustion depends only on
+	// the allocation sequence, which the model keeps in lockstep — so
+	// this sweep makes the same decision everywhere.
+	rp.sweep()
+	if err := rp.collect(kind); err != nil {
+		return err
+	}
+	rp.res.GCs++
+	return rp.reResolve()
+}
+
+func (rp *replayer) link(op Op) error {
+	from, to := rp.live(op.A), rp.live(op.B)
+	if from == nil || to == nil {
+		return nil
+	}
+	j := from.refSlot(op.Val)
+	if j < 0 {
+		return nil
+	}
+	rp.m.Run(1, func(w *memsim.Worker) {
+		rp.h.SetRef(w, from.addr, from.refOffset(j), to.addr)
+	})
+	from.refs[j] = op.B
+	// Overwriting an edge can strand the old target: sweep so death stays
+	// monotone and identical across configurations.
+	rp.sweep()
+	return nil
+}
+
+func (rp *replayer) unlink(op Op) error {
+	from := rp.live(op.A)
+	if from == nil {
+		return nil
+	}
+	j := from.refSlot(op.Val)
+	if j < 0 || from.refs[j] < 0 {
+		return nil
+	}
+	rp.m.Run(1, func(w *memsim.Worker) {
+		rp.h.SetRef(w, from.addr, from.refOffset(j), 0)
+	})
+	from.refs[j] = -1
+	rp.sweep()
+	return nil
+}
+
+func (rp *replayer) rootAdd(op Op) error {
+	o := rp.live(op.A)
+	if o == nil {
+		return nil
+	}
+	var slot heap.Address
+	var ok bool
+	rp.m.Run(1, func(w *memsim.Worker) {
+		slot, ok = rp.h.Roots.Add(w, o.addr)
+	})
+	if !ok {
+		return nil // root pool full: the same deterministic skip everywhere
+	}
+	rp.roots = append(rp.roots, rootEnt{id: op.A, slot: slot})
+	return nil
+}
+
+func (rp *replayer) rootDrop(op Op) error {
+	if len(rp.roots) == 0 {
+		return nil
+	}
+	i := op.A % len(rp.roots)
+	ent := rp.roots[i]
+	rp.m.Run(1, func(w *memsim.Worker) {
+		rp.h.Roots.Clear(w, ent.slot)
+	})
+	rp.roots = append(rp.roots[:i], rp.roots[i+1:]...)
+	rp.sweep()
+	return nil
+}
+
+func (rp *replayer) setPrim(op Op) error {
+	o := rp.live(op.A)
+	if o == nil {
+		return nil
+	}
+	off := o.primOffset(op.B)
+	if off < 0 {
+		return nil
+	}
+	rp.m.Run(1, func(w *memsim.Worker) {
+		rp.h.WriteWord(w, heap.SlotAddr(o.addr, off), op.Val)
+	})
+	return nil
+}
+
+// sweep recomputes model reachability from the model roots and kills
+// everything unreached. Death is permanent: a reclaimed object's id never
+// becomes valid again, so later ops naming it are skipped in every
+// configuration alike.
+func (rp *replayer) sweep() {
+	marked := make(map[int]bool)
+	var q []int
+	for _, re := range rp.roots {
+		if !marked[re.id] {
+			marked[re.id] = true
+			q = append(q, re.id)
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		o := rp.objs[q[head]]
+		for _, tid := range o.refs {
+			if tid >= 0 && !marked[tid] {
+				marked[tid] = true
+				q = append(q, tid)
+			}
+		}
+	}
+	for id, o := range rp.objs {
+		if o != nil && o.alive && !marked[id] {
+			o.alive = false
+			o.addr = 0
+		}
+	}
+}
+
+// reResolve rebuilds the id -> address map after a collection moved
+// objects: root slots give the roots' new addresses, and a breadth-first
+// walk through the model edges reads each child's new address out of its
+// parent's heap slot. Along the way it cross-checks the heap against the
+// model — a mismatch is a collector bug caught at its first observable
+// point, with the object id in hand.
+func (rp *replayer) reResolve() error {
+	seen := make(map[int]bool)
+	var q []int
+	for _, re := range rp.roots {
+		a := heap.Address(rp.h.Peek(re.slot))
+		o := rp.objs[re.id]
+		if a == 0 {
+			return fmt.Errorf("root slot %#x for object #%d reads nil after GC", re.slot, re.id)
+		}
+		if seen[re.id] {
+			if o.addr != a {
+				return fmt.Errorf("object #%d resolved to both %#x and %#x", re.id, o.addr, a)
+			}
+			continue
+		}
+		o.addr = a
+		seen[re.id] = true
+		q = append(q, re.id)
+	}
+	for head := 0; head < len(q); head++ {
+		id := q[head]
+		o := rp.objs[id]
+		k, size := rp.h.PeekObject(o.addr)
+		if k == nil {
+			return fmt.Errorf("object #%d at %#x no longer parses after GC", id, o.addr)
+		}
+		if k != rp.klassFor(o) || size != o.size {
+			return fmt.Errorf("object #%d at %#x reads %s[%d], model says %s[%d]",
+				id, o.addr, k.Name, size, rp.klassFor(o).Name, o.size)
+		}
+		for j, tid := range o.refs {
+			if tid < 0 {
+				continue
+			}
+			ta := heap.Address(rp.h.Peek(heap.SlotAddr(o.addr, o.refOffset(j))))
+			if ta == 0 {
+				return fmt.Errorf("edge #%d.ref[%d] -> #%d reads nil after GC", id, j, tid)
+			}
+			t := rp.objs[tid]
+			if seen[tid] {
+				if t.addr != ta {
+					return fmt.Errorf("object #%d resolved to both %#x and %#x", tid, t.addr, ta)
+				}
+				continue
+			}
+			t.addr = ta
+			seen[tid] = true
+			q = append(q, tid)
+		}
+	}
+	for id, o := range rp.objs {
+		if o != nil && o.alive && !seen[id] {
+			return fmt.Errorf("live object #%d lost by the collection", id)
+		}
+	}
+	return nil
+}

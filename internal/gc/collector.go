@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"nvmgc/internal/check"
 	"nvmgc/internal/heap"
 	"nvmgc/internal/memsim"
 )
@@ -134,6 +135,12 @@ func (b *base) collect(threads int, mode gcMode, oldCands []*heap.Region, markTi
 		tiers0[i] = t.Stats()
 	}
 
+	if b.opt.Check {
+		if err := b.checkBoundary(check.PreGC, false); err != nil {
+			return CollectionStats{}, err
+		}
+	}
+
 	m.Mark("gc-start")
 	var cset []*heap.Region
 	switch mode {
@@ -165,6 +172,11 @@ func (b *base) collect(threads int, mode gcMode, oldCands []*heap.Region, markTi
 		// Mixed and full collections retire old regions; drop remembered
 		// set entries whose slots lived in them.
 		b.h.ScrubRemSets()
+	}
+	if b.opt.Check {
+		if err := b.checkBoundary(check.PostGC, b.pl != nil); err != nil {
+			return CollectionStats{}, err
+		}
 	}
 	m.Mark("gc-end")
 
@@ -199,6 +211,17 @@ func (b *base) collect(threads int, mode gcMode, oldCands []*heap.Region, markTi
 	}
 	b.collections = append(b.collections, s)
 	return s, nil
+}
+
+// checkBoundary runs the phase-boundary invariant checker on the
+// collector's steady state (committed marks a PostGC boundary reached
+// through a persist barrier and journal commit).
+func (b *base) checkBoundary(bd check.Boundary, committed bool) error {
+	var hv check.HeaderMapView
+	if b.hm != nil {
+		hv = b.hm
+	}
+	return check.AtBoundary(bd, check.State{Heap: b.h, HeaderMap: hv, PersistCommitted: committed})
 }
 
 // G1 is the Garbage-First young collector: per-thread survivor regions,

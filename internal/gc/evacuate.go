@@ -3,6 +3,7 @@ package gc
 import (
 	"fmt"
 
+	"nvmgc/internal/check"
 	"nvmgc/internal/heap"
 	"nvmgc/internal/memsim"
 )
@@ -115,6 +116,12 @@ type cycle struct {
 
 	stats CollectionStats
 
+	// Mid-phase invariant checks (Options.Check) run exactly once per
+	// barrier, by the first worker through it; the cooperative scheduler
+	// makes the uncharged check atomic before any worker resumes charged
+	// work.
+	checkedRM, checkedWO bool
+
 	readMostlyEnd memsim.Time
 	writeOnlyEnd  memsim.Time
 }
@@ -163,8 +170,13 @@ func (c *cycle) prepare(cset []*heap.Region) {
 		for _, s := range r.RemSet.Slots() {
 			// Skip slots whose containing region is no longer old space:
 			// the anchoring object was reclaimed by a mixed or full GC
-			// and the memory may have been reused.
-			if sr := c.h.RegionOf(s); sr != nil && sr.Kind != heap.RegionOld {
+			// and the memory may have been reused. Also skip slots that
+			// live inside the collection set itself (mixed GC): their
+			// holders, if live, are traced and copied, and the copies'
+			// slots are rescanned — updating the from-space slot here
+			// instead would race with the holder's evacuation and lose
+			// the remembered-set entry for the copy.
+			if sr := c.h.RegionOf(s); sr != nil && (sr.Kind != heap.RegionOld || sr.InCSet) {
 				continue
 			}
 			c.rootSlots = append(c.rootSlots, s)
@@ -305,6 +317,12 @@ func (c *cycle) run(w *memsim.Worker) {
 	gw.finishTraversal()
 
 	c.readMostlyEnd = c.bar.wait(w)
+	if c.opt.Check && !c.checkedRM {
+		c.checkedRM = true
+		if err := c.checkMid(check.PostReadMostly); err != nil {
+			c.fail(err)
+		}
+	}
 
 	gw.flushPhase()
 	if c.opt.WriteCache && c.opt.NonTemporal {
@@ -312,6 +330,12 @@ func (c *cycle) run(w *memsim.Worker) {
 	}
 
 	c.writeOnlyEnd = c.bar.wait(w)
+	if c.opt.Check && !c.checkedWO && c.err == nil {
+		c.checkedWO = true
+		if err := c.checkMid(check.PostWriteOnly); err != nil {
+			c.fail(err)
+		}
+	}
 
 	if c.pl != nil {
 		// Persist barrier: every line the collection dirtied (to-space
@@ -331,6 +355,17 @@ func (c *cycle) run(w *memsim.Worker) {
 	if c.hm != nil {
 		c.hm.ClearStripe(w, gw.id, c.threads)
 	}
+}
+
+// checkMid runs the phase-boundary invariant checker mid-collection. The
+// header-map view reflects whether the map is active this cycle (it can
+// be disabled below the thread threshold).
+func (c *cycle) checkMid(b check.Boundary) error {
+	var hv check.HeaderMapView
+	if c.hm != nil {
+		hv = c.hm
+	}
+	return check.AtBoundary(b, check.State{Heap: c.h, HeaderMap: hv})
 }
 
 // persistFlush CLWBs this worker's stripe of the dirty-line snapshot and

@@ -140,6 +140,12 @@ func (hm *HeaderMap) PrefetchFor(w *memsim.Worker, old heap.Address) {
 	w.Prefetch(hm.h.AuxDevice(), hm.keyAddr(idx), 16, false)
 }
 
+// PeekEntry reads entry i's key and value words without charging virtual
+// time (verification only; see check.HeaderMapView).
+func (hm *HeaderMap) PeekEntry(i int) (key, val uint64) {
+	return hm.h.Peek(hm.keyAddr(uint64(i))), hm.h.Peek(hm.valueAddr(uint64(i)))
+}
+
 // Reset zeroes every entry without charging virtual time. Crash recovery
 // uses it: the DRAM-resident map does not survive a power failure, and
 // stale forwarding entries left from the interrupted collection would

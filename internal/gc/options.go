@@ -107,6 +107,15 @@ type Options struct {
 	// Any mode other than PersistNone requires the heap to be built with a
 	// non-zero MetaBytes journal area.
 	Persist Persistence
+
+	// Check runs the whole-heap invariant checker (internal/check) at
+	// every GC phase boundary: before and after each collection, and at
+	// the barriers ending the read-mostly and write-only sub-phases. A
+	// violation aborts the collection with a check.Violation error.
+	// Checks are uncharged Peek-based scans, so enabling them changes no
+	// virtual-time result — but they walk the whole heap, so they are off
+	// by default and meant for tests and the selfcheck campaign.
+	Check bool
 }
 
 // Vanilla returns the unmodified collector configuration.

@@ -200,6 +200,15 @@ func (h *Heap) FreeHeapRegions() int { return len(h.freeHeap) }
 // FreeCacheRegions returns the number of free DRAM cache-pool regions.
 func (h *Heap) FreeCacheRegions() int { return len(h.freeCache) }
 
+// FreeHeapRegionIndices returns a copy of the free Java-heap region index
+// list in pop order (verification only: lets a checker confirm the free
+// list and the region table agree).
+func (h *Heap) FreeHeapRegionIndices() []int { return append([]int(nil), h.freeHeap...) }
+
+// FreeCacheRegionIndices returns a copy of the free cache-pool region
+// index list in pop order (verification only).
+func (h *Heap) FreeCacheRegionIndices() []int { return append([]int(nil), h.freeCache...) }
+
 // Eden returns the current eden regions in allocation order.
 func (h *Heap) Eden() []*Region { return h.eden }
 
