@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-sim suite-quick crash-smoke topology-smoke selfcheck-smoke fuzz-smoke cover
+.PHONY: build test verify bench bench-sim bench-smoke profile suite-quick crash-smoke topology-smoke selfcheck-smoke fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,7 @@ test: build
 verify: build
 	$(GO) vet ./...
 	$(GO) test -race -short -count=1 ./internal/memsim ./internal/par ./internal/bench
+	$(GO) test -run TestYoungGCSteadyStateAllocs -count=1 ./internal/gc
 
 # crash-smoke runs a reduced power-failure campaign: deterministic crash
 # points across the GC pause, post-crash recovery, and graph-isomorphism
@@ -51,7 +52,17 @@ cover:
 
 # bench runs the simulator micro-benchmarks (testing.B) at the repo root.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkMachineRun|BenchmarkCacheTouchRange|BenchmarkYoungGC' -benchmem -count=1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkMachineRun|BenchmarkCacheTouchRange|BenchmarkYoungGC|BenchmarkMixedGC|BenchmarkEvacuateHot' -benchmem -count=1 .
+
+# bench-smoke runs the three GC microbenchmarks once each — a CI guard
+# that keeps the bench path itself compiling and running, without timing.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkYoungGC|BenchmarkMixedGC|BenchmarkEvacuateHot' -benchtime=1x -benchmem -count=1 .
+
+# profile records flamegraph-ready CPU and allocation profiles of the GC
+# hot path under results/ (see scripts/profile_gc.sh).
+profile:
+	./scripts/profile_gc.sh
 
 # bench-sim regenerates results/BENCH_sim.json from the current tree
 # (records this tree's ns/op next to the checked-in baseline numbers).

@@ -158,6 +158,104 @@ func BenchmarkYoungGC(b *testing.B) {
 	}
 }
 
+// BenchmarkMixedGC measures the host-side cost of a mixed collection:
+// an old generation seeded with half-garbage regions plus a full eden,
+// collected with concurrent-mark liveness and old-region evacuation in
+// the collection set (CollectMixed = mark + young + old cset).
+func BenchmarkMixedGC(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := memsim.NewMachine(memsim.DefaultConfig())
+		hc := heap.DefaultConfig()
+		hc.HeapRegions = 256
+		hc.EdenRegions = 24
+		h, err := heap.New(m, hc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, err := gc.NewG1(h, gc.Optimized())
+		if err != nil {
+			b.Fatal(err)
+		}
+		node, _ := h.Klasses.Define(fmt.Sprintf("mg%d", i), 6, []int32{2, 3})
+		m.Run(1, func(w *memsim.Worker) {
+			// Old space: alternate live (rooted) and garbage objects so the
+			// mixed cset has sparse regions worth evacuating.
+			for j := 0; j < 20000; j++ {
+				a, ok := h.AllocateOld(w, node, 6)
+				if !ok {
+					break
+				}
+				if j%2 == 0 {
+					h.Roots.Add(w, a)
+				}
+			}
+			// Plus a full eden, as in BenchmarkYoungGC.
+			var prev heap.Address
+			for j := 0; ; j++ {
+				a, ok := h.AllocateEden(w, node, 6)
+				if !ok {
+					return
+				}
+				if prev != 0 {
+					h.SetRefInit(w, a, 2, prev)
+				}
+				if j%8 == 0 {
+					h.Roots.Add(w, a)
+				}
+				prev = a
+			}
+		})
+		if _, err := col.CollectMixed(16, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvacuateHot isolates the evacuation hot path: the eden fill
+// that builds the collection set runs outside the timer, so each timed
+// iteration is exactly one parallel copy-and-traverse pass over a
+// prebuilt cset (compare BenchmarkYoungGC, which times fill + collect).
+func BenchmarkEvacuateHot(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := memsim.NewMachine(memsim.DefaultConfig())
+		hc := heap.DefaultConfig()
+		hc.HeapRegions = 256
+		hc.EdenRegions = 24
+		h, err := heap.New(m, hc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, err := gc.NewG1(h, gc.Optimized())
+		if err != nil {
+			b.Fatal(err)
+		}
+		node, _ := h.Klasses.Define(fmt.Sprintf("ev%d", i), 6, []int32{2, 3})
+		m.Run(1, func(w *memsim.Worker) {
+			var prev heap.Address
+			for j := 0; ; j++ {
+				a, ok := h.AllocateEden(w, node, 6)
+				if !ok {
+					return
+				}
+				if prev != 0 {
+					h.SetRefInit(w, a, 2, prev)
+				}
+				if j%8 == 0 {
+					h.Roots.Add(w, a)
+				}
+				prev = a
+			}
+		})
+		b.StartTimer()
+		if _, err := col.Collect(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCollectOnce measures the host-side cost of simulating a single
 // young collection per configuration — the simulator's own performance.
 func BenchmarkCollectOnce(b *testing.B) {

@@ -100,6 +100,14 @@ func violate(b Boundary, rule, format string, args ...any) error {
 // the first violation found (nil if the heap is consistent). All checks
 // are uncharged.
 func AtBoundary(b Boundary, s State) error {
+	// The heap's struct-of-arrays region-metadata mirrors feed the
+	// evacuation fast paths; a stale entry would silently misclassify
+	// objects, so every boundary re-verifies them against the region table.
+	if s.Heap != nil {
+		if err := s.Heap.RegionMirrorError(); err != nil {
+			return violate(b, "region-mirror", "%v", err)
+		}
+	}
 	switch b {
 	case PreGC, PostGC:
 		return checkIdle(b, s)

@@ -1,0 +1,58 @@
+package gc
+
+import "nvmgc/internal/heap"
+
+// cycleArena is a collector's reusable GC scratch: everything a cycle
+// needs that scales with heap shape or thread count — worker contexts and
+// their work stacks, the root-slot list, the destination-region registry
+// and a freelist of retired destRegion records — lives here and is handed
+// back to newCycle for the next collection. Steady-state collections
+// therefore run allocation-free on the hot path (the allocs regression
+// test pins this); only the first collection, or growth beyond any
+// previous cycle's high-water mark, allocates.
+//
+// Ownership rules (see DESIGN.md §11): the arena belongs to exactly one
+// collector (base embeds one) and is only touched between collections —
+// newCycle takes everything out, cycle.release puts everything back after
+// a successful collection. A cycle that ends in an injected crash never
+// calls release; its scratch is simply dropped and the next cycle starts
+// from whatever the arena still holds (destByRegion is re-cleared on
+// every handout, so stale registrations cannot leak across cycles).
+type cycleArena struct {
+	// cyc is the cycle object itself, reused so a collection does not
+	// allocate its (large) shared-state struct.
+	cyc cycle
+
+	workers   []*gcWorker
+	rootSlots []heap.Address
+	allDest   []*destRegion
+	destFree  []*destRegion
+
+	// destByRegion is the cycle's region-index → destination registry
+	// (the struct-of-arrays replacement for the old byPhys map), sized to
+	// the heap's region table.
+	destByRegion []*destRegion
+}
+
+// allocDestScratch returns a zeroed destRegion record, reusing a retired
+// one from the arena freelist when possible.
+func (c *cycle) allocDestScratch() *destRegion {
+	ar := c.arena
+	if n := len(ar.destFree); n > 0 {
+		d := ar.destFree[n-1]
+		ar.destFree = ar.destFree[:n-1]
+		*d = destRegion{}
+		return d
+	}
+	return &destRegion{}
+}
+
+// release returns a successfully finished cycle's scratch to the arena.
+// Slices are handed back with their grown capacity; destRegion records
+// join the freelist for the next cycle's allocDestScratch.
+func (c *cycle) release() {
+	ar := c.arena
+	ar.rootSlots = c.rootSlots[:0]
+	ar.destFree = append(ar.destFree, c.allDest...)
+	ar.allDest = c.allDest[:0]
+}

@@ -40,6 +40,10 @@ type base struct {
 	ps   bool
 	name string
 
+	// arena holds the reusable GC scratch (work stacks, destination
+	// registry, root list); see cycleArena.
+	arena cycleArena
+
 	collections []CollectionStats
 }
 
@@ -151,7 +155,7 @@ func (b *base) collect(threads int, mode gcMode, oldCands []*heap.Region, markTi
 	default:
 		cset = b.h.BeginCollection()
 	}
-	c := newCycle(b.h, b.opt, threads, b.hm, b.pl, b.ps)
+	c := newCycle(b.h, b.opt, threads, b.hm, b.pl, b.ps, &b.arena)
 	c.full = mode == gcFull
 	c.prepare(cset)
 
@@ -179,6 +183,7 @@ func (b *base) collect(threads int, mode gcMode, oldCands []*heap.Region, markTi
 		}
 	}
 	m.Mark("gc-end")
+	c.release()
 
 	s := c.stats
 	s.Full = mode == gcFull

@@ -66,9 +66,7 @@ func (b *barrier) wait(w *memsim.Worker) memsim.Time {
 		b.gen++
 		return b.maxT
 	}
-	for b.gen == g {
-		w.Spin(60)
-	}
+	w.SpinWait(60, func() bool { return b.gen != g })
 	return b.maxT
 }
 
@@ -91,10 +89,17 @@ type cycle struct {
 	labWords    int64 // PS: LAB size
 	directWords int64 // PS: objects at least this big bypass LABs
 
+	// arena owns every reusable slice below (see cycleArena); the cycle
+	// only borrows them for one collection.
+	arena *cycleArena
+
 	rootSlots []heap.Address
-	byPhys    map[int]*destRegion
-	allDest   []*destRegion
-	nextFlush int
+	// destByRegion maps a physical (cache) region index to its
+	// destination record — a dense array indexed like the heap's region
+	// table, replacing a map lookup per processed slot.
+	destByRegion []*destRegion
+	allDest      []*destRegion
+	nextFlush    int
 
 	// PS shared destinations: LAB refills come from cached shared
 	// regions; direct copies go to uncached shared regions.
@@ -126,19 +131,35 @@ type cycle struct {
 	writeOnlyEnd  memsim.Time
 }
 
-func newCycle(h *heap.Heap, opt Options, threads int, hm *HeaderMap, pl *persistLog, ps bool) *cycle {
-	c := &cycle{
+// newCycle builds the shared state of one collection inside ar, reusing
+// the arena's scratch from previous cycles (pass nil for a one-shot
+// arena, e.g. in tests).
+func newCycle(h *heap.Heap, opt Options, threads int, hm *HeaderMap, pl *persistLog, ps bool, ar *cycleArena) *cycle {
+	if ar == nil {
+		ar = &cycleArena{}
+	}
+	c := &ar.cyc
+	*c = cycle{
 		h:           h,
 		opt:         opt,
 		threads:     threads,
 		ps:          ps,
+		arena:       ar,
 		promoteAge:  opt.promoteAge(),
 		cacheBudget: opt.writeCacheBudget(h.HeapBytes()),
-		byPhys:      make(map[int]*destRegion),
 		labWords:    (4 << 10) / heap.WordBytes,
 		directWords: (1 << 10) / heap.WordBytes,
 		pl:          pl,
+		rootSlots:   ar.rootSlots[:0],
+		allDest:     ar.allDest[:0],
 	}
+	if nr := len(h.Regions()); cap(ar.destByRegion) < nr {
+		ar.destByRegion = make([]*destRegion, nr)
+	} else {
+		ar.destByRegion = ar.destByRegion[:nr]
+		clear(ar.destByRegion)
+	}
+	c.destByRegion = ar.destByRegion
 	if opt.HeaderMap && threads >= opt.headerMapMinThreads() {
 		c.hm = hm
 	}
@@ -147,9 +168,18 @@ func newCycle(h *heap.Heap, opt Options, threads int, hm *HeaderMap, pl *persist
 	// optimization is enabled (Section 4.4).
 	c.pushPrefetch = !ps || opt.Prefetch
 	c.bar.n = threads
-	c.workers = make([]*gcWorker, threads)
-	for i := range c.workers {
-		c.workers[i] = &gcWorker{c: c, id: i}
+	for len(ar.workers) < threads {
+		gw := &gcWorker{id: len(ar.workers)}
+		gw.stealCond = gw.stealReady
+		ar.workers = append(ar.workers, gw)
+	}
+	c.workers = ar.workers[:threads]
+	for _, gw := range c.workers {
+		gw.c = c
+		gw.w = nil
+		gw.stack.reset()
+		gw.surv, gw.old = nil, nil
+		gw.labs = [2]labState{}
 	}
 	return c
 }
@@ -191,20 +221,23 @@ func (c *cycle) fail(err error) {
 }
 
 // finalAddrOf translates a cache-region address to its mapped NVM address.
+// The kind probe is a tag-array byte load, so non-cache addresses (every
+// address when the write cache is off) never touch the region table.
 func (c *cycle) finalAddrOf(a heap.Address) heap.Address {
-	r := c.h.RegionOf(a)
-	if r != nil && r.Kind == heap.RegionCache && r.MapTo != nil {
+	if c.h.KindAt(a) != heap.RegionCache {
+		return a
+	}
+	if r := c.h.RegionOf(a); r.MapTo != nil {
 		return r.MapTo.Start + (a - r.Start)
 	}
 	return a
 }
 
 func (c *cycle) destOf(a heap.Address) *destRegion {
-	r := c.h.RegionOf(a)
-	if r == nil {
-		return nil
+	if i := c.h.RegionIndexOf(a); i >= 0 {
+		return c.destByRegion[i]
 	}
-	return c.byPhys[r.Index]
+	return nil
 }
 
 // newDest claims a fresh destination region of the given final kind,
@@ -219,7 +252,8 @@ func (c *cycle) newDest(w *memsim.Worker, kind heap.RegionKind, cacheable bool) 
 		return nil, false
 	}
 	w.Advance(250)
-	d := &destRegion{phys: final, final: final, kind: kind}
+	d := c.allocDestScratch()
+	d.phys, d.final, d.kind = final, final, kind
 	if cacheable && c.opt.WriteCache {
 		rb := c.h.RegionBytes()
 		if c.cacheUsed+rb <= c.cacheBudget {
@@ -227,7 +261,7 @@ func (c *cycle) newDest(w *memsim.Worker, kind heap.RegionKind, cacheable bool) 
 				cr.MapTo = final
 				d.phys = cr
 				c.cacheUsed += rb
-				c.byPhys[cr.Index] = d
+				c.destByRegion[cr.Index] = d
 				c.stats.CacheRegionsUsed++
 				w.Advance(150)
 			}
@@ -276,7 +310,7 @@ func (c *cycle) flush(w *memsim.Worker, d *destRegion, async bool) {
 		}
 	}
 	d.flushed = true
-	delete(c.byPhys, d.phys.Index)
+	c.destByRegion[d.phys.Index] = nil
 	c.h.Retire(d.phys)
 	c.cacheUsed -= c.h.RegionBytes()
 	d.phys = d.final
@@ -397,6 +431,10 @@ type gcWorker struct {
 
 	stack workStack
 
+	// stealCond is the prebuilt stealReady method value handed to SpinWait,
+	// allocated once per worker instead of once per steal attempt.
+	stealCond func() bool
+
 	// G1: one private destination per generation.
 	surv, old *destRegion
 
@@ -473,10 +511,32 @@ func (gw *gcWorker) trySteal() (heap.Address, bool) {
 			c.done = true
 			break
 		}
-		gw.w.Spin(150)
+		// Each spin quantum re-runs the checks above; stealReady is their
+		// side-effect-free form, so the scheduler can evaluate it while the
+		// worker is parked. A true result wakes the worker, which re-runs
+		// the loop body over unchanged state and acts on what it found.
+		gw.w.SpinWait(150, gw.stealCond)
 	}
 	c.idle--
 	return 0, false
+}
+
+// stealReady reports whether trySteal's loop would stop spinning: an
+// error or termination was published, some victim stack holds stealable
+// work, or this worker can itself detect termination. It mirrors the loop
+// body's checks exactly but mutates nothing, so SpinWait may evaluate it
+// on the scheduler's behalf between spin quanta.
+func (gw *gcWorker) stealReady() bool {
+	c := gw.c
+	if c.err != nil || c.done {
+		return true
+	}
+	for i := 1; i < c.threads; i++ {
+		if !c.workers[(gw.id+i)%c.threads].stack.empty() {
+			return true
+		}
+	}
+	return c.idle >= c.threads && c.allStacksEmpty()
 }
 
 // processSlot is one iteration of the paper's four-step loop
@@ -487,12 +547,13 @@ func (gw *gcWorker) processSlot(slot heap.Address) {
 
 	ref := h.ReadWord(w, slot) // step 1: fetch the reference (random read)
 	if ref != 0 {
-		if r := h.RegionOf(ref); r != nil && r.InCSet {
+		if h.InCSetAt(ref) {
 			newAddr := gw.evacuate(ref)
 			if c.err == nil && newAddr != ref {
 				gw.updateSlot(slot, ref, newAddr) // step 4: update (random write)
 			}
-		} else if r != nil && r.Kind == heap.RegionOld {
+		} else if h.KindAt(ref) == heap.RegionOld {
+			r := h.RegionOf(ref)
 			// Non-moving old target: if this slot's final home is a
 			// *different* old region (a freshly promoted copy), record
 			// the old-to-old edge so future mixed collections can
@@ -578,7 +639,7 @@ func (gw *gcWorker) evacuate(ref heap.Address) heap.Address {
 	}
 	age := heap.MarkAge(mark)
 	promote := age+1 >= c.promoteAge
-	if h.RegionOf(ref).Kind == heap.RegionOld {
+	if h.KindAt(ref) == heap.RegionOld {
 		// Mixed and full GCs compact old objects into fresh old regions;
 		// they never return to the young generation.
 		promote = true
@@ -698,7 +759,7 @@ func (gw *gcWorker) pushRefs(phys heap.Address, k *heap.Klass, size int64) {
 		slot := heap.SlotAddr(phys, off)
 		if c.pushPrefetch {
 			if val := h.Peek(slot); val != 0 {
-				if r := h.RegionOf(val); r != nil && r.InCSet {
+				if h.InCSetAt(val) {
 					if c.hm != nil {
 						// With the header map enabled, the forwarding
 						// lookup reads the DRAM map, not the NVM header —

@@ -13,6 +13,12 @@ type workStack struct {
 
 func (s *workStack) push(a heap.Address) { s.buf = append(s.buf, a) }
 
+// reset empties the stack, keeping the buffer for reuse across cycles.
+func (s *workStack) reset() {
+	s.buf = s.buf[:0]
+	s.head = 0
+}
+
 // pop removes the most recently pushed slot.
 func (s *workStack) pop() (heap.Address, bool) {
 	if s.head >= len(s.buf) {

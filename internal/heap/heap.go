@@ -166,6 +166,19 @@ type Heap struct {
 	freeHeap  []int     // free heap-region indices (LIFO)
 	freeCache []int
 
+	// Struct-of-arrays mirrors of the hot per-region metadata, indexed by
+	// region id. The evacuation loop's kind/cset classification and DevOf
+	// run once per processed slot; reading one byte (or one pointer) out of
+	// a dense array keeps them L1-resident instead of chasing a *Region per
+	// query. regionTag packs Kind in the low bits and InCSet as tagInCSet.
+	// Region remains the authoritative API; the mirrors are refreshed by
+	// syncRegionMeta at the few mutation sites (New, ClaimRegion, Retire,
+	// the Begin*Collection family, RollbackCollection) and cross-checked
+	// against the region table by RegionMirrorError at every checker
+	// boundary.
+	regionTag []uint8
+	regionDev []*memsim.Device
+
 	Klasses *KlassTable
 	Roots   *RootSet
 	filler  *Klass
@@ -176,6 +189,10 @@ type Heap struct {
 	old        []*Region
 	oldCur     *Region // current old-space allocation region (setup/promotion)
 	allocBytes int64   // cumulative bytes allocated in eden
+
+	// csetBuf backs the slice Begin*Collection returns, reused across
+	// collections so a steady-state GC allocates no collection-set list.
+	csetBuf []*Region
 }
 
 // New creates a heap on the given machine.
@@ -221,6 +238,8 @@ func New(m *memsim.Machine, cfg Config) (*Heap, error) {
 
 	total := cfg.HeapRegions + cfg.CacheRegions
 	h.regions = make([]*Region, total)
+	h.regionTag = make([]uint8, total)
+	h.regionDev = make([]*memsim.Device, total)
 	for i := 0; i < total; i++ {
 		start := h.heapStart + Address(i)*Address(cfg.RegionBytes)
 		r := &Region{
@@ -239,6 +258,7 @@ func New(m *memsim.Machine, cfg Config) (*Heap, error) {
 			h.freeCache = append(h.freeCache, i)
 		}
 		h.regions[i] = r
+		h.syncRegionMeta(r)
 	}
 	// Pop from the end, so reverse for ascending-first allocation order.
 	reverseInts(h.freeHeap)
@@ -383,6 +403,71 @@ func (h *Heap) RegionOf(addr Address) *Region {
 // Regions returns all regions (heap regions first, then the cache pool).
 func (h *Heap) Regions() []*Region { return h.regions }
 
+// tagInCSet is the InCSet bit of a regionTag entry; the low bits hold the
+// RegionKind (which fits in three bits).
+const tagInCSet uint8 = 1 << 3
+
+// syncRegionMeta refreshes the struct-of-arrays mirrors from a region
+// whose Kind, InCSet, or Dev just changed.
+func (h *Heap) syncRegionMeta(r *Region) {
+	t := uint8(r.Kind)
+	if r.InCSet {
+		t |= tagInCSet
+	}
+	h.regionTag[r.Index] = t
+	h.regionDev[r.Index] = r.Dev
+}
+
+// RegionIndexOf returns the index of the region containing addr, or -1
+// for addresses outside the region space.
+func (h *Heap) RegionIndexOf(addr Address) int {
+	if addr < h.heapStart || addr >= h.cacheEnd {
+		return -1
+	}
+	return int((addr - h.heapStart) >> h.regionLog)
+}
+
+// KindAt returns the kind of the region containing addr — RegionFree for
+// addresses outside the region space. It reads the packed region-tag
+// array: one byte load instead of a region-table pointer chase, for the
+// per-slot classification on the evacuation path.
+func (h *Heap) KindAt(addr Address) RegionKind {
+	if addr < h.heapStart || addr >= h.cacheEnd {
+		return RegionFree
+	}
+	return RegionKind(h.regionTag[(addr-h.heapStart)>>h.regionLog] &^ tagInCSet)
+}
+
+// InCSetAt reports whether addr lies in a collection-set region (false
+// outside the region space); like KindAt it is index math on the packed
+// tag array.
+func (h *Heap) InCSetAt(addr Address) bool {
+	if addr < h.heapStart || addr >= h.cacheEnd {
+		return false
+	}
+	return h.regionTag[(addr-h.heapStart)>>h.regionLog]&tagInCSet != 0
+}
+
+// RegionMirrorError cross-checks the struct-of-arrays metadata mirrors
+// against the authoritative region table and reports the first mismatch
+// (verification only; the boundary checker runs it).
+func (h *Heap) RegionMirrorError() error {
+	for _, r := range h.regions {
+		want := uint8(r.Kind)
+		if r.InCSet {
+			want |= tagInCSet
+		}
+		if got := h.regionTag[r.Index]; got != want {
+			return fmt.Errorf("region %d: tag mirror %#x, want %#x (kind %v incset %v)",
+				r.Index, got, want, r.Kind, r.InCSet)
+		}
+		if got := h.regionDev[r.Index]; got != r.Dev {
+			return fmt.Errorf("region %d: device mirror %v, want %v", r.Index, got, r.Dev)
+		}
+	}
+	return nil
+}
+
 // InYoung reports whether addr is inside an eden or survivor region.
 func (h *Heap) InYoung(addr Address) bool {
 	r := h.RegionOf(addr)
@@ -393,8 +478,8 @@ func (h *Heap) InYoung(addr Address) bool {
 // regions carry their own device, the meta area sits on the meta tier,
 // and everything else (the aux area) on the aux tier.
 func (h *Heap) DevOf(addr Address) *memsim.Device {
-	if r := h.RegionOf(addr); r != nil {
-		return r.Dev
+	if addr >= h.heapStart && addr < h.cacheEnd {
+		return h.regionDev[(addr-h.heapStart)>>h.regionLog]
 	}
 	if addr >= h.metaStart && addr < h.metaEnd {
 		return h.metaDev
@@ -440,16 +525,18 @@ func (h *Heap) Poke(addr Address, v uint64) {
 	h.words[h.index(addr)] = v
 }
 
-// ReadWord models a random 8-byte load.
+// ReadWord models a random 8-byte load. Object addresses are 8-byte
+// aligned, so the access is always contained in one cache line and takes
+// the single-line accounting fast path.
 func (h *Heap) ReadWord(w *memsim.Worker, addr Address) uint64 {
-	w.Read(h.DevOf(addr), addr, WordBytes, false)
+	w.ReadWord(h.DevOf(addr), addr)
 	return h.words[h.index(addr)]
 }
 
 // WriteWord models a random 8-byte cached store.
 func (h *Heap) WriteWord(w *memsim.Worker, addr Address, v uint64) {
 	h.pdStore(addr, WordBytes)
-	w.Write(h.DevOf(addr), addr, WordBytes, false)
+	w.WriteWord(h.DevOf(addr), addr)
 	h.words[h.index(addr)] = v
 }
 
@@ -469,9 +556,9 @@ func (h *Heap) CASWord(w *memsim.Worker, addr Address, old, new uint64) (uint64,
 		h.words[idx] = new
 	}
 	dev := h.DevOf(addr)
-	w.Read(dev, addr, WordBytes, false)
+	w.ReadWord(dev, addr)
 	if ok {
-		w.Write(dev, addr, WordBytes, false)
+		w.WriteWord(dev, addr)
 	}
 	return cur, ok
 }

@@ -167,6 +167,7 @@ func (h *Heap) ClaimRegion(kind RegionKind, dev *memsim.Device) (*Region, bool) 
 	default:
 		r.Dev = h.oldDev
 	}
+	h.syncRegionMeta(r)
 	switch kind {
 	case RegionEden:
 		h.eden = append(h.eden, r)
@@ -187,6 +188,7 @@ func (h *Heap) Retire(r *Region) {
 		}
 	}
 	r.reset()
+	h.syncRegionMeta(r)
 	if r.CachePool {
 		h.freeCache = append(h.freeCache, r.Index)
 	} else {
@@ -229,15 +231,21 @@ func (h *Heap) YoungRegions() []*Region {
 
 // BeginCollection detaches the current young generation (eden + survivor
 // lists) as the collection set and resets the heap's young lists so the
-// collector can register fresh survivor regions.
+// collector can register fresh survivor regions. The returned slice
+// reuses an internal buffer that the next Begin*Collection call
+// invalidates; a collection consumes it before finishing, so steady-state
+// collections allocate nothing here.
 func (h *Heap) BeginCollection() []*Region {
-	cset := h.YoungRegions()
+	cset := append(h.csetBuf[:0], h.eden...)
+	cset = append(cset, h.survivors...)
+	h.csetBuf = cset
 	for _, r := range cset {
 		r.InCSet = true
+		h.regionTag[r.Index] |= tagInCSet
 	}
-	h.eden = nil
+	h.eden = h.eden[:0]
 	h.edenCur = nil
-	h.survivors = nil
+	h.survivors = h.survivors[:0]
 	h.inGC = true
 	return cset
 }
@@ -247,15 +255,18 @@ func (h *Heap) BeginCollection() []*Region {
 // irrelevant (everything is rediscovered from the roots) and are cleared
 // with the regions.
 func (h *Heap) BeginFullCollection() []*Region {
-	cset := h.YoungRegions()
+	cset := append(h.csetBuf[:0], h.eden...)
+	cset = append(cset, h.survivors...)
 	cset = append(cset, h.old...)
+	h.csetBuf = cset
 	for _, r := range cset {
 		r.InCSet = true
+		h.regionTag[r.Index] |= tagInCSet
 	}
-	h.eden = nil
+	h.eden = h.eden[:0]
 	h.edenCur = nil
-	h.survivors = nil
-	h.old = nil
+	h.survivors = h.survivors[:0]
+	h.old = h.old[:0]
 	h.oldCur = nil
 	h.inGC = true
 	return cset
@@ -274,6 +285,7 @@ func (h *Heap) BeginMixedCollection(oldRegions []*Region) []*Region {
 			continue
 		}
 		r.InCSet = true
+		h.regionTag[r.Index] |= tagInCSet
 		inCset[r.Index] = true
 		cset = append(cset, r)
 	}
@@ -285,6 +297,7 @@ func (h *Heap) BeginMixedCollection(oldRegions []*Region) []*Region {
 	}
 	h.old = kept
 	h.oldCur = nil
+	h.csetBuf = cset
 	return cset
 }
 
@@ -347,6 +360,7 @@ func (h *Heap) RollbackCollection() {
 			continue
 		}
 		r.InCSet = false
+		h.regionTag[r.Index] &^= tagInCSet
 		r.ClaimedInGC = false
 		switch r.Kind {
 		case RegionEden:

@@ -42,6 +42,12 @@ type Cache struct {
 	numSets    int
 	setMask    uint64
 	lines      []cacheLine // numSets * assoc
+	// keys mirrors lines with one packed (device, line-address) word per
+	// way (see lineKey; 0 = invalid), so the per-access way scan touches
+	// a dense tag array — two cache lines for a 16-way set — instead of
+	// striding through the full cacheLine structs. Every site that
+	// (in)validates or retags a line updates both arrays.
+	keys       []uint64
 	hitLatency Time
 
 	pbuf [prefetchBufferSize]prefetchEntry
@@ -79,9 +85,19 @@ func NewCache(capacity int64, assoc int, hitLatency Time) *Cache {
 		numSets:    n,
 		setMask:    uint64(n - 1),
 		lines:      make([]cacheLine, n*assoc),
+		keys:       make([]uint64, n*assoc),
 		hitLatency: hitLatency,
 		pbufIdx:    make(map[pbufKey]int, prefetchBufferSize),
 	}
+}
+
+// lineKey packs a (device, line address) pair into one comparable word.
+// Line addresses are multiples of LineSize, so the low 6 bits carry no
+// information and addr>>6 keeps the key collision-free for addresses up
+// to 2^46 (the simulated address space sits at 1<<32); device ids are
+// nonzero and process-unique, so a key of 0 never matches a real line.
+func lineKey(dev *Device, lineAddr uint64) uint64 {
+	return lineAddr>>6 | dev.id<<40
 }
 
 // CapacityBytes returns the modeled cache capacity.
@@ -109,8 +125,13 @@ func (c *Cache) Stats() CacheStats {
 		PrefetchPromotions: c.promoted, PrefetchOverwrites: c.pbufOverwrites}
 }
 
-// pbufTake removes and returns the prefetch-buffer entry for a line.
+// pbufTake removes and returns the prefetch-buffer entry for a line. The
+// len guard skips the key hash entirely when nothing is staged — the
+// common case for collectors that never prefetch.
 func (c *Cache) pbufTake(dev *Device, lineAddr uint64) (Time, bool) {
+	if len(c.pbufIdx) == 0 {
+		return 0, false
+	}
 	i, ok := c.pbufIdx[pbufKey{dev, lineAddr}]
 	if !ok {
 		return 0, false
@@ -121,13 +142,11 @@ func (c *Cache) pbufTake(dev *Device, lineAddr uint64) (Time, bool) {
 }
 
 func (c *Cache) pbufContains(dev *Device, lineAddr uint64) bool {
+	if len(c.pbufIdx) == 0 {
+		return false
+	}
 	_, ok := c.pbufIdx[pbufKey{dev, lineAddr}]
 	return ok
-}
-
-func (c *Cache) set(lineAddr uint64) []cacheLine {
-	s := int((lineAddr / LineSize) & c.setMask)
-	return c.lines[s*c.assoc : (s+1)*c.assoc]
 }
 
 // touchLine probes one line. On a miss it allocates the line (evicting LRU
@@ -137,10 +156,11 @@ func (c *Cache) set(lineAddr uint64) []cacheLine {
 // sequential traffic (memory-controller write combining), while randomly
 // dirtied lines pay the device's random-access amplification on eviction.
 func (c *Cache) touchLine(dev *Device, lineAddr uint64, now Time, write, seq bool) (hit bool, ready Time) {
-	set := c.set(lineAddr)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.dev == dev && l.tag == lineAddr {
+	key := lineKey(dev, lineAddr)
+	base := int((lineAddr/LineSize)&c.setMask) * c.assoc
+	for i, k := range c.keys[base : base+c.assoc] {
+		if k == key {
+			l := &c.lines[base+i]
 			l.lastUse = now
 			if write {
 				l.dirty = true
@@ -155,28 +175,31 @@ func (c *Cache) touchLine(dev *Device, lineAddr uint64, now Time, write, seq boo
 	if readyAt, ok := c.pbufTake(dev, lineAddr); ok {
 		c.promoted++
 		c.hits++
-		c.installInSet(set, dev, lineAddr, now, write, seq, readyAt)
+		c.installInSet(base, dev, lineAddr, now, write, seq, readyAt)
 		return true, readyAt
 	}
 	c.misses++
-	c.installInSet(set, dev, lineAddr, now, write, seq, 0)
+	c.installInSet(base, dev, lineAddr, now, write, seq, 0)
 	return false, 0
 }
 
-// installInSet places a line into the given set (the caller has already
-// located it), evicting the LRU way with writeback if dirty.
-func (c *Cache) installInSet(set []cacheLine, dev *Device, lineAddr uint64, now Time, write, seq bool, readyAt Time) {
-	victim := &set[0]
+// installInSet places a line into the set at the given base index (the
+// caller has already located it), evicting the LRU way with writeback if
+// dirty.
+func (c *Cache) installInSet(base int, dev *Device, lineAddr uint64, now Time, write, seq bool, readyAt Time) {
+	set := c.lines[base : base+c.assoc]
+	vi := 0
 	for i := range set {
 		l := &set[i]
 		if !l.valid {
-			victim = l
+			vi = i
 			break
 		}
-		if l.lastUse < victim.lastUse {
-			victim = l
+		if l.lastUse < set[vi].lastUse {
+			vi = i
 		}
 	}
+	victim := &set[vi]
 	if victim.valid && victim.dirty {
 		c.writebacks++
 		if c.onEvict != nil {
@@ -185,6 +208,7 @@ func (c *Cache) installInSet(set []cacheLine, dev *Device, lineAddr uint64, now 
 		victim.dev.access(now, opWrite, LineSize, victim.seqDirty)
 	}
 	*victim = cacheLine{dev: dev, tag: lineAddr, dirty: write, seqDirty: write && seq, valid: true, lastUse: now, readyAt: readyAt}
+	c.keys[base+vi] = lineKey(dev, lineAddr)
 }
 
 // touchRange probes every line spanned by [addr, addr+n) and returns the
@@ -204,12 +228,12 @@ func (c *Cache) touchRange(dev *Device, addr uint64, n int64, now Time, write, s
 	base := int((first/LineSize)&c.setMask) * assoc
 	wrap := c.numSets * assoc
 	la := first
+	key := lineKey(dev, first) // consecutive lines: key advances by 1
 	for k := 0; k < nLines; k++ {
-		set := c.lines[base : base+assoc]
 		hit := false
-		for i := range set {
-			l := &set[i]
-			if l.tag == la && l.valid && l.dev == dev {
+		for i, kk := range c.keys[base : base+assoc] {
+			if kk == key {
+				l := &c.lines[base+i]
 				l.lastUse = now
 				if write {
 					l.dirty = true
@@ -227,17 +251,18 @@ func (c *Cache) touchRange(dev *Device, addr uint64, n int64, now Time, write, s
 			if readyAt, ok := c.pbufTake(dev, la); ok {
 				c.promoted++
 				c.hits++
-				c.installInSet(set, dev, la, now, write, seq, readyAt)
+				c.installInSet(base, dev, la, now, write, seq, readyAt)
 				if readyAt > ready {
 					ready = readyAt
 				}
 			} else {
 				c.misses++
-				c.installInSet(set, dev, la, now, write, seq, 0)
+				c.installInSet(base, dev, la, now, write, seq, 0)
 				missLines++
 			}
 		}
 		la += LineSize
+		key++
 		if base += assoc; base == wrap {
 			base = 0
 		}
@@ -278,10 +303,11 @@ func (c *Cache) installPrefetch(dev *Device, addr uint64, n int64, now, readyAt 
 // (the CLWB semantics) and reports whether the line was dirty. The device
 // write is charged by the caller, which also tracks its completion time.
 func (c *Cache) cleanLine(dev *Device, lineAddr uint64) bool {
-	set := c.set(lineAddr)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.dev == dev && l.tag == lineAddr {
+	key := lineKey(dev, lineAddr)
+	base := int((lineAddr/LineSize)&c.setMask) * c.assoc
+	for i, k := range c.keys[base : base+c.assoc] {
+		if k == key {
+			l := &c.lines[base+i]
 			wasDirty := l.dirty
 			l.dirty = false
 			l.seqDirty = false
@@ -292,10 +318,10 @@ func (c *Cache) cleanLine(dev *Device, lineAddr uint64) bool {
 }
 
 func (c *Cache) present(dev *Device, lineAddr uint64) bool {
-	set := c.set(lineAddr)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.dev == dev && l.tag == lineAddr {
+	key := lineKey(dev, lineAddr)
+	base := int((lineAddr/LineSize)&c.setMask) * c.assoc
+	for _, k := range c.keys[base : base+c.assoc] {
+		if k == key {
 			return true
 		}
 	}
@@ -311,15 +337,16 @@ func (c *Cache) missingLines(dev *Device, addr uint64, n int64) int {
 	}
 	first := addr &^ (LineSize - 1)
 	nLines := int((addr+uint64(n)-1)/LineSize-first/LineSize) + 1
-	setIdx := int((first / LineSize) & c.setMask)
+	assoc := c.assoc
+	base := int((first/LineSize)&c.setMask) * assoc
+	wrap := c.numSets * assoc
+	key := lineKey(dev, first)
 	miss := 0
 	la := first
 	for k := 0; k < nLines; k++ {
-		set := c.lines[setIdx*c.assoc : (setIdx+1)*c.assoc]
 		cached := false
-		for i := range set {
-			l := &set[i]
-			if l.valid && l.dev == dev && l.tag == la {
+		for _, kk := range c.keys[base : base+assoc] {
+			if kk == key {
 				cached = true
 				break
 			}
@@ -328,8 +355,9 @@ func (c *Cache) missingLines(dev *Device, addr uint64, n int64) int {
 			miss++
 		}
 		la += LineSize
-		if setIdx++; setIdx == c.numSets {
-			setIdx = 0
+		key++ // consecutive lines differ only in the addr>>6 low bits
+		if base += assoc; base == wrap {
+			base = 0
 		}
 	}
 	return miss
@@ -344,12 +372,14 @@ func (c *Cache) invalidateRange(dev *Device, addr uint64, n int64) {
 	first := addr &^ (LineSize - 1)
 	last := (addr + uint64(n) - 1) &^ (LineSize - 1)
 	for la := first; ; la += LineSize {
-		set := c.set(la)
+		base := int((la/LineSize)&c.setMask) * c.assoc
+		set := c.lines[base : base+c.assoc]
 		for i := range set {
 			l := &set[i]
 			if l.valid && l.dev == dev && l.tag == la {
 				l.valid = false
 				l.dirty = false
+				c.keys[base+i] = 0
 				break
 			}
 		}

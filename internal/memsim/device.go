@@ -3,7 +3,12 @@ package memsim
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
+
+// deviceIDs hands out process-unique device identifiers (see Device.id).
+// Ids start at 1 so a zero way tag always means "invalid line".
+var deviceIDs atomic.Uint64
 
 // Time is a point in (or span of) virtual time, in nanoseconds.
 type Time = int64
@@ -161,6 +166,9 @@ func (s DeviceStats) Sub(t DeviceStats) DeviceStats {
 type Device struct {
 	name string
 	prof Profile
+	// id is a process-unique nonzero identifier used to pack (device,
+	// line address) into the LLC's single-word way tags (Cache.lineKey).
+	id uint64
 
 	nextFree Time // when the transfer channel becomes free
 
@@ -181,6 +189,7 @@ func NewDevice(name string, prof Profile, traceBucket Time) *Device {
 	d := &Device{
 		name:      name,
 		prof:      prof,
+		id:        deviceIDs.Add(1),
 		mixWindow: float64(50 * Microsecond),
 	}
 	if traceBucket > 0 {

@@ -1,7 +1,6 @@
 package memsim
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -199,7 +198,7 @@ func (m *Machine) Device(k Kind) *Device {
 func (m *Machine) Run(n int, body func(*Worker)) Time {
 	start := m.now
 	if n <= 1 {
-		w := &Worker{id: 0, now: start, m: m, horizon: math.MaxInt64}
+		w := &Worker{id: 0, now: start, m: m, horizonKey: math.MaxInt64}
 		runBody(w, body)
 		w.finished = true
 		if w.now > m.now {
@@ -213,27 +212,31 @@ func (m *Machine) Run(n int, body func(*Worker)) Time {
 		return m.now - start
 	}
 
+	if n > maxWorkers {
+		panic("memsim: Run supports at most 256 workers per phase")
+	}
 	s := &scheduler{done: make(chan *Worker, n), q: make(workerQueue, 0, n)}
 	s.all = make([]*Worker, 0, n)
 	for i := 0; i < n; i++ {
 		w := &Worker{id: i, now: start, m: m, sched: s, resume: make(chan struct{})}
 		go func(w *Worker) {
 			<-w.resume
+			w.setHorizon()
 			runBody(w, body)
 			w.finished = true
 			w.finish()
 		}(w)
-		s.q = append(s.q, w)
+		s.q = append(s.q, qent{w.qkey(), w})
 		s.all = append(s.all, w)
 	}
-	heap.Init(&s.q)
+	// All workers start at the same time; the slice is already id-ordered,
+	// which is a valid heap under the (now, id) ordering.
 
 	// Hand the CPU to the earliest worker; from here on control passes
 	// worker-to-worker (yield/finish pop the successor and resume it
 	// directly), so a handoff costs one channel hop, not a round-trip
 	// through this goroutine. Run only collects completions.
-	first := heap.Pop(&s.q).(*Worker)
-	first.setHorizon()
+	first := s.q.pop()
 	first.resume <- struct{}{}
 
 	end := start
@@ -279,26 +282,56 @@ type scheduler struct {
 	all  []*Worker    // every worker of the phase, for watchdog dumps
 }
 
-// workerQueue is a min-heap of workers ordered by virtual time, ties broken
-// by worker id for determinism.
-type workerQueue []*Worker
+// workerQueue is a min-heap of runnable workers ordered by the packed
+// (now, id) scheduling key (see Worker.qkey). It is a concrete heap (not
+// container/heap) with the key stored inline next to the worker pointer,
+// because sift operations run on every scheduler handoff and spin
+// advancement: both the interface dispatch of the generic heap and the
+// two-field pointer-chasing comparison showed up as top-ten profile
+// entries under parallel GC phases. An entry's key is refreshed whenever
+// its worker's clock moves while queued (advanceSpin).
+type workerQueue []qent
 
-func (q workerQueue) Len() int { return len(q) }
-func (q workerQueue) Less(i, j int) bool {
-	if q[i].now != q[j].now {
-		return q[i].now < q[j].now
-	}
-	return q[i].id < q[j].id
+type qent struct {
+	key Time // w.qkey() at the time of the last enqueue/refresh
+	w   *Worker
 }
-func (q workerQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
 
-func (q *workerQueue) Push(x any) { *q = append(*q, x.(*Worker)) }
+// fixTop restores the heap property after q[0]'s key increased in place
+// (a handoff replace-top or a parked-spinner advancement).
+func (q workerQueue) fixTop() {
+	n := len(q)
+	i := 0
+	e := q[0]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && q[r].key < q[l].key {
+			c = r
+		}
+		if q[c].key >= e.key {
+			break
+		}
+		q[i] = q[c]
+		i = c
+	}
+	q[i] = e
+}
 
-func (q *workerQueue) Pop() any {
+// pop removes and returns the earliest worker.
+func (q *workerQueue) pop() *Worker {
 	old := *q
 	n := len(old)
-	w := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+	w := old[0].w
+	old[0] = old[n-1]
+	old[n-1] = qent{}
+	old = old[:n-1]
+	*q = old
+	if n > 1 {
+		old.fixTop()
+	}
 	return w
 }

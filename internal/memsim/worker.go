@@ -1,7 +1,6 @@
 package memsim
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -19,11 +18,11 @@ type Worker struct {
 	sched  *scheduler
 	resume chan struct{}
 
-	// horizon/horizonID are the virtual time and id of the next-earliest
-	// runnable worker, set by the scheduler on resume. The worker may keep
-	// executing while (now, id) < (horizon, horizonID) lexicographically.
-	horizon   Time
-	horizonID int
+	// horizonKey is the packed scheduling key (see qkey) of the
+	// next-earliest runnable worker, set by the scheduler on resume. The
+	// worker may keep executing while qkey() < horizonKey, which is
+	// exactly (now, id) < (horizon now, horizon id) lexicographically.
+	horizonKey Time
 
 	// finished marks the body as returned (read by the watchdog).
 	finished bool
@@ -41,6 +40,50 @@ type Worker struct {
 	// flushDone is the completion time of the latest CLWB writeback this
 	// worker issued; PersistFence cannot retire before it.
 	flushDone Time
+
+	// spinCond/spinQuantum are set while the worker is inside SpinWait:
+	// they let the scheduler advance this worker's clock through further
+	// spin iterations in place — evaluating the loop condition on its
+	// behalf — instead of resuming it for every quantum (see SpinWait).
+	spinCond    func() bool
+	spinQuantum Time
+
+	// op is the pending charged operation this worker is about to account
+	// for (set between noteOp and execOp). While the worker is parked at a
+	// yield with op pending, the running worker may execute the accounting
+	// on its behalf at exactly this worker's position in global time order
+	// (see yield), which skips the goroutine handoff entirely whenever the
+	// operation's cost moves this worker past the runner.
+	op opDesc
+}
+
+// opKind classifies a pending charged operation (see Worker.op).
+type opKind uint8
+
+const (
+	opNone     opKind = iota
+	opWord            // single-line random access (ReadWord/WriteWord)
+	opRange           // multi-line range access (Read/Write)
+	opNT              // non-temporal streaming store (WriteNT)
+	opPrefetch        // software prefetch (Prefetch)
+	opCLWB            // cache-line write-back (CLWB)
+)
+
+// opDesc captures everything execOp needs to run a charged operation's
+// accounting: the LLC/device state transitions and the worker-clock
+// advance. Crucially the accounting is a pure function of shared simulator
+// state (LLC, devices, persistence domain) and these parameters — the ops
+// return no value, and the only worker-local state they touch (the clock,
+// and flushDone for CLWB) belongs to the op's owner, who reads it again
+// only after resuming at its own position in global order. That is what
+// makes peer-executed accounting safe.
+type opDesc struct {
+	kind  opKind
+	write bool
+	seq   bool
+	dev   *Device
+	addr  uint64
+	n     int64
 }
 
 // noteOp records a real (non-spin) operation for watchdog dumps and ends
@@ -73,6 +116,17 @@ func (w *Worker) checkFault() {
 	}
 }
 
+// maxWorkers bounds the workers of one parallel phase so the scheduling
+// key can pack (now, id) into a single integer.
+const maxWorkers = 256
+
+// qkey packs the worker's scheduling key — virtual time, ties broken by
+// worker id — into one integer so heap compares are a single branch.
+// Worker ids fit 8 bits (maxWorkers) and virtual clocks stay far below
+// 2^55 ns (≈417 virtual days), so the packing never overflows and orders
+// exactly like the (now, id) pair.
+func (w *Worker) qkey() Time { return w.now<<8 | Time(w.id) }
+
 // ID returns the worker's index within its phase.
 func (w *Worker) ID() int { return w.id }
 
@@ -89,25 +143,192 @@ func (w *Worker) yield() {
 	// Event horizon: while this worker is still the globally earliest
 	// (ties broken by id, matching the scheduler heap), a handoff would
 	// resume it immediately — skip the channel ops entirely.
-	if w.now < w.horizon || (w.now == w.horizon && w.id < w.horizonID) {
+	wkey := w.qkey()
+	if wkey < w.horizonKey {
 		return
 	}
 	s := w.sched
-	// The heap is untouched since this worker was resumed, so its top is
-	// the horizon owner. Handing off is push(w)+pop(top), which a
-	// replace-top with one sift performs in half the heap work.
-	if len(s.q) == 0 || w.now < s.q[0].now || (w.now == s.q[0].now && w.id < s.q[0].id) {
-		// Still the earliest (only reachable under eager-yield's forced
-		// handoffs): keep running with a re-armed horizon.
+	m := w.m
+	for {
+		if len(s.q) == 0 || wkey < s.q[0].key {
+			// Still the earliest (eager-yield's forced handoffs, or every
+			// earlier worker was advanced past us in place): keep running
+			// with a re-armed horizon.
+			w.setHorizon()
+			return
+		}
+		next := s.q[0].w
+		if next.spinCond != nil {
+			if next.advanceSpin() {
+				s.q[0].key = next.qkey()
+				s.q.fixTop()
+				continue
+			}
+		} else if next.op.kind != opNone && !m.eagerYield && !m.halted &&
+			!(m.faultTime > 0 && next.now >= m.faultTime) {
+			// The earliest worker is parked at the yield inside a charged
+			// operation whose accounting has not run yet. Run it on its
+			// behalf: the accounting executes at exactly the same position
+			// in global operation order as it would on the owner's
+			// goroutine, and its effects are confined to shared simulator
+			// state plus the owner's clock (see opDesc), so results are
+			// bit-identical. If the cost moves the owner past us it never
+			// needed the CPU at all — the handoff is skipped; otherwise the
+			// next loop iteration hands off to it as usual (opNone now), and
+			// it resumes with the accounting already done.
+			next.execOp()
+			s.q[0].key = next.qkey()
+			s.q.fixTop()
+			continue
+		}
+		// A real handoff is due: the earliest worker needs its goroutine to
+		// make progress, must observe a halt/fault, or its awaited condition
+		// now holds. The heap is untouched since that worker reached the
+		// top, so handing off is push(w)+pop(top), which a replace-top with
+		// one sift performs in half the heap work.
+		s.q[0] = qent{wkey, w}
+		s.q.fixTop()
+		next.resume <- struct{}{}
+		<-w.resume
 		w.setHorizon()
 		return
 	}
-	next := s.q[0]
-	s.q[0] = w
-	heap.Fix(&s.q, 0)
-	next.setHorizon()
-	next.resume <- struct{}{}
-	<-w.resume
+}
+
+// dispatch is the tail of every delegable charged operation: yield at the
+// operation's interleaving point, then run the accounting — unless a peer
+// already executed it on this worker's behalf while it was parked.
+func (w *Worker) dispatch() {
+	w.yield()
+	if w.op.kind != opNone {
+		w.execOp()
+	}
+}
+
+// execOp runs the accounting of the worker's pending operation: the LLC
+// touch, one device access covering every missing line, and the cost
+// applied to the worker's clock (max of LLC hit latency, device completion,
+// and any in-flight prefetch readiness). It is called either by the owner
+// (dispatch) or by the running worker on a parked owner's behalf (yield);
+// both execute at the same position in the global operation order.
+func (w *Worker) execOp() {
+	op := w.op
+	w.op.kind = opNone
+	c := w.m.LLC
+	switch op.kind {
+	case opWord, opRange:
+		var missBytes int64
+		var ready Time
+		if op.kind == opWord {
+			hit, r := c.touchLine(op.dev, op.addr&^(LineSize-1), w.now, op.write, false)
+			if !hit {
+				missBytes = LineSize
+			}
+			ready = r
+		} else {
+			miss, r := c.touchRange(op.dev, op.addr, op.n, w.now, op.write, op.seq)
+			missBytes = int64(miss) * LineSize
+			ready = r
+		}
+		cost := c.hitLatency
+		if missBytes > 0 {
+			// Cached stores fetch missing lines first (read-for-ownership),
+			// so both reads and writes charge a device *read* here; the
+			// dirty data reaches the device later via asynchronous cache
+			// writebacks.
+			complete := op.dev.access(w.now, opRead, missBytes, op.seq)
+			if complete-w.now > cost {
+				cost = complete - w.now
+			}
+		}
+		if ready > w.now+cost {
+			cost = ready - w.now
+		}
+		w.now += cost
+	case opNT:
+		c.invalidateRange(op.dev, op.addr, op.n)
+		w.now = op.dev.access(w.now, opWriteNT, op.n, true)
+	case opPrefetch:
+		if miss := c.missingLines(op.dev, op.addr, op.n); miss > 0 {
+			done := op.dev.access(w.now, opRead, int64(miss)*LineSize, op.seq)
+			c.installPrefetch(op.dev, op.addr, op.n, w.now, done)
+		}
+		w.now += 2 // issue overhead
+	case opCLWB:
+		line := op.addr &^ (LineSize - 1)
+		pd := w.m.pd
+		dirty := c.cleanLine(op.dev, line)
+		if pd != nil && !pd.eADR && pd.isDirty(line) {
+			dirty = true
+		}
+		if dirty {
+			done := op.dev.access(w.now, opWrite, LineSize, false)
+			if done > w.flushDone {
+				w.flushDone = done
+			}
+		}
+		if pd != nil {
+			pd.onCLWB(op.dev, line)
+		}
+		w.now += 4 // issue overhead
+	}
+}
+
+// advanceSpin runs one iteration of a parked SpinWait loop on the owning
+// worker's behalf, without resuming it: it evaluates the loop condition at
+// the worker's current virtual time and, if the worker would keep
+// spinning, replicates Spin's fault/watchdog bookkeeping and advances its
+// clock by the spin quantum. It reports false when the worker must be
+// resumed for real — the condition holds, or a halt/armed fault requires
+// the worker to unwind from its own goroutine.
+//
+// The condition closure runs under the cooperative scheduler at exactly
+// the interleaving point where the parked worker would have been resumed,
+// so it observes the same simulated state the worker's own check would —
+// results are bit-identical to resuming it for every quantum (the
+// eager-yield golden tests cross-check this).
+func (w *Worker) advanceSpin() bool {
+	m := w.m
+	if m.halted || (m.faultTime > 0 && w.now >= m.faultTime) || w.spinCond() {
+		return false
+	}
+	if w.spinStreak == 0 {
+		w.spinSince = w.now
+	}
+	if w.spinStreak++; w.spinStreak >= m.wdSpins && m.wdSpins > 0 {
+		w.watchdogCheck()
+	}
+	w.now += w.spinQuantum
+	return true
+}
+
+// SpinWait models the busy-wait loop `for !cond() { w.Spin(d) }` and is
+// the preferred form for pure waits whose condition reads only simulated
+// state (barrier generations, termination flags, other workers' stacks).
+// The loop semantics — condition checks at quantum boundaries, watchdog
+// streak accounting, fault windows — are identical to writing the loop
+// out; the difference is purely host-side: while the worker is the
+// earliest runnable one but would only spin, the scheduler advances its
+// clock in place (see advanceSpin) instead of paying a goroutine handoff
+// per quantum.
+//
+// cond must be free of charged memory operations and must not depend on
+// which goroutine evaluates it. Under eager-yield the literal loop runs.
+func (w *Worker) SpinWait(d Time, cond func() bool) {
+	if w.sched == nil || w.m.eagerYield {
+		for !cond() {
+			w.Spin(d)
+		}
+		return
+	}
+	if d < 1 {
+		d = 1
+	}
+	w.spinCond, w.spinQuantum = cond, d
+	for !cond() {
+		w.Spin(d)
+	}
+	w.spinCond = nil
 }
 
 // finish hands the CPU to the next runnable worker (if any) and reports
@@ -116,27 +337,30 @@ func (w *Worker) finish() {
 	s := w.sched
 	s.done <- w
 	if len(s.q) > 0 {
-		next := heap.Pop(&s.q).(*Worker)
-		next.setHorizon()
+		next := s.q.pop()
 		next.resume <- struct{}{}
 	}
 }
 
-// setHorizon primes the worker's event horizon from the runnable heap;
-// called while holding the (cooperative) CPU, just before this worker is
-// resumed.
+// setHorizon primes the worker's event horizon from the runnable heap.
+// Each worker arms its own horizon right after it is resumed (and the
+// phase's first worker before its body starts): the waker completed every
+// queue mutation before the channel send, and nothing the waker executes
+// after the send touches the queue, so the freshly resumed worker reads
+// the exact queue state its horizon must reflect — without the waker
+// paying a cold-memory store into the sleeping worker's struct.
 func (w *Worker) setHorizon() {
 	if w.m.eagerYield {
 		// Reference mode: an unreachable horizon forces a handoff at
 		// every yield point.
-		w.horizon, w.horizonID = math.MinInt64, -1
+		w.horizonKey = math.MinInt64
 		return
 	}
 	if q := w.sched.q; len(q) > 0 {
-		w.horizon, w.horizonID = q[0].now, q[0].id
+		w.horizonKey = q[0].key
 	} else {
 		// Sole runnable worker: run to completion without handoffs.
-		w.horizon, w.horizonID = math.MaxInt64, math.MaxInt
+		w.horizonKey = math.MaxInt64
 	}
 }
 
@@ -174,20 +398,8 @@ func (w *Worker) Read(dev *Device, addr uint64, n int64, seq bool) {
 		return
 	}
 	w.noteOp("read", dev, addr)
-	w.yield()
-	c := w.m.LLC
-	missLines, ready := c.touchRange(dev, addr, n, w.now, false, seq)
-	cost := c.hitLatency
-	if missLines > 0 {
-		complete := dev.access(w.now, opRead, int64(missLines)*LineSize, seq)
-		if complete-w.now > cost {
-			cost = complete - w.now
-		}
-	}
-	if ready > w.now+cost {
-		cost = ready - w.now
-	}
-	w.now += cost
+	w.op = opDesc{kind: opRange, dev: dev, addr: addr, n: n, seq: seq}
+	w.dispatch()
 }
 
 // Write models a cached store of n bytes at addr. Missing lines are
@@ -200,20 +412,27 @@ func (w *Worker) Write(dev *Device, addr uint64, n int64, seq bool) {
 		return
 	}
 	w.noteOp("write", dev, addr)
-	w.yield()
-	c := w.m.LLC
-	missLines, ready := c.touchRange(dev, addr, n, w.now, true, seq)
-	cost := c.hitLatency
-	if missLines > 0 {
-		complete := dev.access(w.now, opRead, int64(missLines)*LineSize, seq)
-		if complete-w.now > cost {
-			cost = complete - w.now
-		}
-	}
-	if ready > w.now+cost {
-		cost = ready - w.now
-	}
-	w.now += cost
+	w.op = opDesc{kind: opRange, write: true, dev: dev, addr: addr, n: n, seq: seq}
+	w.dispatch()
+}
+
+// ReadWord models a random load contained in a single cache line (an
+// aligned heap word). It is exactly Read(dev, addr, 8, false) — same
+// counters, same virtual time — with the range bookkeeping specialized to
+// the one-line case, which dominates the GC's slot and header traffic.
+func (w *Worker) ReadWord(dev *Device, addr uint64) {
+	w.noteOp("read", dev, addr)
+	w.op = opDesc{kind: opWord, dev: dev, addr: addr}
+	w.dispatch()
+}
+
+// WriteWord models a random cached store contained in a single cache line;
+// it is exactly Write(dev, addr, 8, false) with the range bookkeeping
+// specialized away (see ReadWord).
+func (w *Worker) WriteWord(dev *Device, addr uint64) {
+	w.noteOp("write", dev, addr)
+	w.op = opDesc{kind: opWord, write: true, dev: dev, addr: addr}
+	w.dispatch()
 }
 
 // WriteNT models a non-temporal (streaming) store of n bytes: it bypasses
@@ -225,10 +444,8 @@ func (w *Worker) WriteNT(dev *Device, addr uint64, n int64) {
 		return
 	}
 	w.noteOp("write-nt", dev, addr)
-	w.yield()
-	w.m.LLC.invalidateRange(dev, addr, n)
-	complete := dev.access(w.now, opWriteNT, n, true)
-	w.now = complete
+	w.op = opDesc{kind: opNT, dev: dev, addr: addr, n: n}
+	w.dispatch()
 }
 
 // Fence models a store fence ordering non-temporal writes (issued once
@@ -246,23 +463,8 @@ func (w *Worker) Fence() {
 // flushed line enters the persistence domain when that fence retires.
 func (w *Worker) CLWB(dev *Device, addr uint64) {
 	w.noteOp("clwb", dev, addr)
-	w.yield()
-	line := addr &^ (LineSize - 1)
-	pd := w.m.pd
-	dirty := w.m.LLC.cleanLine(dev, line)
-	if pd != nil && !pd.eADR && pd.isDirty(line) {
-		dirty = true
-	}
-	if dirty {
-		done := dev.access(w.now, opWrite, LineSize, false)
-		if done > w.flushDone {
-			w.flushDone = done
-		}
-	}
-	if pd != nil {
-		pd.onCLWB(dev, line)
-	}
-	w.Advance(4)
+	w.op = opDesc{kind: opCLWB, dev: dev, addr: addr}
+	w.dispatch()
 }
 
 // PersistFence models the SFENCE that orders preceding CLWBs: it retires
@@ -288,12 +490,6 @@ func (w *Worker) Prefetch(dev *Device, addr uint64, n int64, seq bool) {
 		return
 	}
 	w.noteOp("prefetch", dev, addr)
-	w.yield()
-	c := w.m.LLC
-	miss := c.missingLines(dev, addr, n)
-	if miss > 0 {
-		done := dev.access(w.now, opRead, int64(miss)*LineSize, seq)
-		c.installPrefetch(dev, addr, n, w.now, done)
-	}
-	w.Advance(2)
+	w.op = opDesc{kind: opPrefetch, dev: dev, addr: addr, n: n, seq: seq}
+	w.dispatch()
 }

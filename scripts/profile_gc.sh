@@ -1,0 +1,26 @@
+#!/bin/sh
+# Records flamegraph-ready CPU and allocation profiles of the GC hot path
+# (BenchmarkYoungGC) and drops them under results/:
+#
+#   results/profile_younggc_cpu.pb.gz   CPU profile
+#   results/profile_younggc_mem.pb.gz   allocation profile
+#
+# The .pb.gz files open directly in pprof's flamegraph view:
+#   go tool pprof -http=:8080 results/profile_younggc_cpu.pb.gz
+#
+# The checked-in *_before.pb.gz siblings are the same profiles recorded on
+# the tree before the delegated-accounting scheduler (PR 6), kept as the
+# comparison point for the hot-path work.
+# Usage: scripts/profile_gc.sh [benchtime]   (default 5x)
+set -eu
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-5x}"
+mkdir -p results
+go test -run '^$' -bench BenchmarkYoungGC -benchtime "$BENCHTIME" \
+	-cpuprofile results/profile_younggc_cpu.pb.gz \
+	-memprofile results/profile_younggc_mem.pb.gz \
+	-o /tmp/nvmgc_profile.test .
+echo
+go tool pprof -top -nodecount=15 results/profile_younggc_cpu.pb.gz
+echo
+echo "wrote results/profile_younggc_cpu.pb.gz results/profile_younggc_mem.pb.gz"
