@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-sim bench-smoke profile suite-quick crash-smoke topology-smoke selfcheck-smoke fuzz-smoke cover
+.PHONY: build test verify bench bench-sim bench-smoke profile suite-quick crash-smoke topology-smoke selfcheck-smoke fault-smoke fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ topology-smoke: build
 # Deterministic: same seeds, same verdict, at any -parallel setting.
 selfcheck-smoke: build
 	$(GO) run ./cmd/gcsim -selfcheck -selfcheck-runs 50 -selfcheck-ops 400
+
+# fault-smoke runs the media-fault campaign in quick mode: wear-driven
+# line failures, region retirement, tier degradation, and survival-time
+# accounting under a churning mutator (full sweep: gcsim -fault-sweep).
+fault-smoke: build
+	$(GO) run ./cmd/gcsim -fault-sweep -quick -threads 4
 
 # fuzz-smoke replays the checked-in crash-recovery corpus and fuzzes for
 # 30s on top (regression net for the crash points earlier PRs fixed).

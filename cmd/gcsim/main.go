@@ -10,6 +10,8 @@
 //	gcsim -app als -config writecache -trace
 //	gcsim -app page-rank,als,movie-lens -parallel 3
 //	gcsim -crash-sweep -threads 4
+//	gcsim -fault-sweep -threads 4
+//	gcsim -app page-rank -fault-wear 4096 -fault-ppm 100 -seed 7
 //	gcsim -selfcheck -selfcheck-runs 50
 package main
 
@@ -46,6 +48,8 @@ type options struct {
 	jsonOut    string
 	mixedEvery int
 	fullEvery  int
+	faultWear  int64
+	faultPPM   int64
 
 	tiers []memsim.TierSpec    // non-empty for an explicit -topology
 	place heap.PlacementPolicy // area -> tier overrides from the *-tier flags
@@ -74,7 +78,10 @@ func main() {
 		profileFile = flag.String("profile-file", "", "load a custom workload profile from a JSON file (overrides -app)")
 
 		crashSweep = flag.Bool("crash-sweep", false, "run the power-failure campaign (crash points across the GC pause x persistence configs) and exit")
-		quick      = flag.Bool("quick", false, "with -crash-sweep: a reduced smoke-sized sweep")
+		faultSweep = flag.Bool("fault-sweep", false, "run the media-fault campaign (wear thresholds x collector configs, seeded by -seed) and exit")
+		quick      = flag.Bool("quick", false, "with -crash-sweep or -fault-sweep: a reduced smoke-sized sweep")
+		faultWear  = flag.Int64("fault-wear", 0, "mean per-line write budget before a hard UE on the persistent tier (0 disables wear-out; seeded by -seed)")
+		faultPPM   = flag.Int64("fault-ppm", 0, "transient read-fault probability on the persistent tier, parts per million (0 disables; seeded by -seed)")
 
 		selfcheck     = flag.Bool("selfcheck", false, "run the differential selfcheck campaign (seeded random workloads through the reference collector vs every real configuration) and exit non-zero on divergence")
 		selfcheckRuns = flag.Int("selfcheck-runs", 50, "with -selfcheck: number of seeded workload traces")
@@ -142,6 +149,17 @@ func main() {
 		return
 	}
 
+	if *faultSweep {
+		rep, err := bench.FaultSweep(bench.Params{
+			Threads: *threads, Seed: *seed, Parallel: *parallel, Quick: *quick,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Render())
+		return
+	}
+
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -199,6 +217,7 @@ func main() {
 		threads: *threads, scale: *scale, seed: *seed, trace: *trace,
 		eagerYield: *eager, jsonOut: *jsonOut,
 		mixedEvery: *mixedEvery, fullEvery: *fullEvery,
+		faultWear: *faultWear, faultPPM: *faultPPM,
 		tiers: tiers, place: place,
 	}
 
@@ -322,6 +341,26 @@ func runApp(w io.Writer, prof workload.Profile, o options) error {
 	}
 	mc.EagerYield = o.eagerYield
 	mc.Tiers = o.tiers
+	if o.faultWear > 0 || o.faultPPM > 0 {
+		// Install a seeded media-fault model on every persistent tier; the
+		// same -seed drives the wear thresholds and transient draws, so a
+		// faulty run is exactly reproducible.
+		if mc.Tiers == nil {
+			mc.Tiers = memsim.DefaultTierSpecs(mc.DRAM, mc.NVM)
+		}
+		fm := memsim.FaultModel{
+			Seed:                o.seed,
+			TransientReadPPM:    o.faultPPM,
+			WearThresholdMean:   o.faultWear,
+			WearThresholdSpread: o.faultWear / 4,
+			DegradeUETrip:       32,
+		}
+		for i := range mc.Tiers {
+			if mc.Tiers[i].Persistent {
+				mc.Tiers[i].Fault = fm
+			}
+		}
+	}
 	m := memsim.NewMachine(mc)
 	hc := heap.DefaultConfig()
 	hc.HeapKind = o.kind
@@ -413,6 +452,24 @@ func runApp(w io.Writer, prof workload.Profile, o options) error {
 		}
 	}
 	fmt.Fprintf(w, "allocated: %.1f MiB\n", float64(res.Allocated)/(1<<20))
+
+	if o.faultWear > 0 || o.faultPPM > 0 {
+		f := tot.Faults
+		fmt.Fprintf(w, "faults: %d transient (%d retries, %.3f ms backoff), %d UEs surfaced, %d copies re-routed, %d regions retired, %d tier fallbacks\n",
+			f.TransientFaults, f.Retries, ms(f.BackoffTime), f.UEsDiscovered, f.RedirectedCopies, f.RegionsRetired, f.TierFallbacks)
+		for _, t := range m.Topology().Tiers() {
+			if !t.FaultEnabled() {
+				continue
+			}
+			fs := t.FaultStats()
+			state := "healthy"
+			if fs.Degraded {
+				state = fmt.Sprintf("degraded at %.3f ms", ms(fs.DegradedAt))
+			}
+			fmt.Fprintf(w, "tier %s media: %d line writes (max %d per line), %d hard errors, %s\n",
+				t.Spec().Name, fs.LineWrites, fs.MaxLineWrites, fs.HardErrors, state)
+		}
+	}
 
 	if o.trace {
 		cs := m.LLC.Stats()

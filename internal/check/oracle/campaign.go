@@ -19,6 +19,13 @@ type Config struct {
 	Opt       gc.Options
 	Threads   int
 	Topology  string // "2tier" or "3tier"
+
+	// Fault, when enabled, is installed on the environment's NVM tier: the
+	// replay then also exercises the collector's media-fault resilience
+	// (retried reads, copy re-routing, region retirement). The reference
+	// replay stays fault-free — resilience must preserve the live graph
+	// exactly, so the differential comparison is unchanged.
+	Fault memsim.FaultModel
 }
 
 // refConfig returns the reference-collector configuration for a topology.
@@ -60,15 +67,71 @@ func Configs() []Config {
 	return out
 }
 
+// FaultConfigs returns the fault-injection arm of the campaign: the real
+// collector configurations replayed with a media-fault model on the NVM
+// tier — transient read faults on every config, plus wear-driven hard
+// errors (aggressive enough to retire regions within one trace) on the
+// write-heavy ones. The reference replay stays fault-free, so any graph
+// damage the resilience protocol fails to heal shows up as a differential
+// failure.
+func FaultConfigs() []Config {
+	transient := memsim.FaultModel{Seed: 0x5eed_fa17, TransientReadPPM: 2000}
+	// Oracle traces are tiny (hundreds of ops, a few hundred line writes
+	// per replay, hottest line in the low twenties), so the wear threshold
+	// sits low enough that hot lines die within one trace.
+	// The write-cache/header-map configs serve most GC reads from DRAM, so
+	// their NVM probe count is tiny — the transient rate is cranked up to
+	// still observe retried reads within one trace.
+	wear := memsim.FaultModel{
+		Seed:                0x5eed_fa17,
+		TransientReadPPM:    20000,
+		WearThresholdMean:   12,
+		WearThresholdSpread: 4,
+		DegradeUETrip:       8,
+	}
+	all := gc.Optimized()
+	all.HeaderMapMinThreads = 1
+	base := []struct {
+		name, col string
+		opt       gc.Options
+		fm        memsim.FaultModel
+	}{
+		{"g1-vanilla+transient", "g1", gc.Vanilla(), transient},
+		{"ps-vanilla+transient", "ps", gc.Vanilla(), transient},
+		{"g1-writecache+wear", "g1", gc.WithWriteCache(), wear},
+		{"g1-all+wear", "g1", all, wear},
+	}
+	var out []Config
+	for _, b := range base {
+		opt := b.opt
+		opt.Check = true
+		out = append(out, Config{
+			Name:      b.name + "/2tier",
+			Collector: b.col,
+			Opt:       opt,
+			Threads:   4,
+			Topology:  "2tier",
+			Fault:     b.fm,
+		})
+	}
+	return out
+}
+
 // newEnv builds a small, GC-frequent machine+heap for one replay. The
 // 3-tier topology adds a remote-DRAM tier and places the write cache on
 // it, so the campaign also covers the pluggable-placement paths.
-func newEnv(topology string) (*memsim.Machine, *heap.Heap, error) {
+func newEnv(topology string, fault memsim.FaultModel) (*memsim.Machine, *heap.Heap, error) {
 	cfg := memsim.DefaultConfig()
 	cfg.LLCBytes = 1 << 16
 	if topology == "3tier" {
 		cfg.Tiers = append(memsim.DefaultTierSpecs(cfg.DRAM, cfg.NVM),
 			memsim.TierSpec{Name: "remote-dram", Profile: memsim.RemoteDRAMProfile(), Interleave: 6})
+	}
+	if fault.Enabled() {
+		if cfg.Tiers == nil {
+			cfg.Tiers = memsim.DefaultTierSpecs(cfg.DRAM, cfg.NVM)
+		}
+		cfg.Tiers[1].Fault = fault // the "nvm" tier of DefaultTierSpecs
 	}
 	m := memsim.NewMachine(cfg)
 	hc := heap.DefaultConfig()
@@ -123,10 +186,17 @@ func statsSane(s gc.CollectionStats) error {
 // RunTrace replays one trace under one configuration on a fresh
 // environment.
 func RunTrace(c Config, ops []Op) (*Result, error) {
-	m, h, err := newEnv(c.Topology)
+	m, h, err := newEnv(c.Topology, c.Fault)
 	if err != nil {
 		return nil, err
 	}
+	return runTraceOn(c, m, h, ops)
+}
+
+// runTraceOn replays one trace on a caller-built environment (tests use
+// this to inspect the machine afterwards).
+func runTraceOn(c Config, m *memsim.Machine, h *heap.Heap, ops []Op) (*Result, error) {
+	var err error
 	var collect func(kind int) error
 	switch c.Collector {
 	case "ref":
@@ -294,7 +364,7 @@ func RunSeed(seed uint64, nops int) *Failure {
 	if err := diffResults(refs["3tier"], refs["2tier"]); err != nil {
 		return fail(refConfig("3tier"), err)
 	}
-	for _, c := range Configs() {
+	for _, c := range append(Configs(), FaultConfigs()...) {
 		res, err := RunTrace(c, ops)
 		if err != nil {
 			return fail(c, err)
@@ -350,7 +420,7 @@ func Campaign(runs, nops int, baseSeed uint64, parallel int) (*Report, error) {
 	}
 	rep := &Report{Runs: runs, Ops: nops, BaseSeed: baseSeed}
 	rep.Configs = append(rep.Configs, refConfig("2tier").Name, refConfig("3tier").Name)
-	for _, c := range Configs() {
+	for _, c := range append(Configs(), FaultConfigs()...) {
 		rep.Configs = append(rep.Configs, c.Name)
 	}
 	for _, f := range fails {

@@ -78,6 +78,7 @@ type cycle struct {
 	threads int
 	ps      bool // Parallel-Scavenge allocation policy (LABs + direct copies)
 	full    bool // full GC: the collection set covers the old space too
+	faulty  bool // some tier carries a media-fault model (see resilience.go)
 
 	hm           *HeaderMap // nil when disabled this cycle
 	pushPrefetch bool       // prefetch referents on work-stack push
@@ -144,6 +145,7 @@ func newCycle(h *heap.Heap, opt Options, threads int, hm *HeaderMap, pl *persist
 		opt:         opt,
 		threads:     threads,
 		ps:          ps,
+		faulty:      anyTierFaulty(h.Machine()),
 		arena:       ar,
 		promoteAge:  opt.promoteAge(),
 		cacheBudget: opt.writeCacheBudget(h.HeapBytes()),
@@ -246,9 +248,9 @@ func (c *cycle) destOf(a heap.Address) *destRegion {
 // (Section 3.2: "the GC thread stops allocating new cache regions and
 // directly copies objects into NVM").
 func (c *cycle) newDest(w *memsim.Worker, kind heap.RegionKind, cacheable bool) (*destRegion, bool) {
-	final, ok := c.h.ClaimRegion(kind, nil)
+	final, ok := c.h.ClaimRegion(kind, c.destDevice(kind))
 	if !ok {
-		c.fail(fmt.Errorf("gc: heap exhausted while claiming a %v region", kind))
+		c.fail(fmt.Errorf("gc: heap exhausted while claiming a %v region: %w", kind, ErrTierExhausted))
 		return nil, false
 	}
 	w.Advance(250)
@@ -545,7 +547,7 @@ func (gw *gcWorker) stealReady() bool {
 func (gw *gcWorker) processSlot(slot heap.Address) {
 	c, h, w := gw.c, gw.c.h, gw.w
 
-	ref := h.ReadWord(w, slot) // step 1: fetch the reference (random read)
+	ref := gw.readWordRetry(slot) // step 1: fetch the reference (random read)
 	if ref != 0 {
 		if h.InCSetAt(ref) {
 			newAddr := gw.evacuate(ref)
@@ -624,7 +626,7 @@ func (gw *gcWorker) evacuate(ref heap.Address) heap.Address {
 			return v
 		}
 	}
-	mark := h.ReadWord(w, heap.MarkAddr(ref))
+	mark := gw.readWordRetry(heap.MarkAddr(ref))
 	if heap.IsForwarded(mark) {
 		return heap.ForwardingAddr(mark)
 	}
@@ -661,9 +663,12 @@ func (gw *gcWorker) evacuate(ref heap.Address) heap.Address {
 
 	// Step 2: copy the object (sequential read + sequential write), plus
 	// the CPU cost of size checks, klass decoding, barrier bookkeeping
-	// and allocation-cursor updates.
-	w.Advance(110 + size/8)
-	h.CopyWords(w, phys, ref, size)
+	// and allocation-cursor updates. Under a fault model the copy probes
+	// its destination for hard UEs and re-routes off poisoned lines.
+	phys, final, ok = gw.copyObject(ref, size, promote, phys, final)
+	if !ok {
+		return ref
+	}
 	newAge := age + 1
 	if promote {
 		newAge = 0

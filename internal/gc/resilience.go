@@ -1,0 +1,177 @@
+package gc
+
+import (
+	"errors"
+	"fmt"
+
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+)
+
+// ErrTierExhausted is returned (wrapped) when the collector needs a
+// destination region and no healthy tier can supply one: the free pool is
+// empty — wear retirement permanently removes regions from it — and every
+// fallback tier is degraded or gone. Until that point, placement degrades
+// gracefully: claims on a degraded tier re-route to the next healthy tier
+// in placement-policy order instead of failing the collection.
+var ErrTierExhausted = errors.New("gc: every tier exhausted or degraded, no healthy region available")
+
+const (
+	// maxFaultRetries bounds the exponential-backoff retry loop of a
+	// transiently faulting read before the collection is failed.
+	maxFaultRetries = 6
+	// faultBackoffBase is the first retry's backoff in virtual ns; each
+	// further attempt doubles it.
+	faultBackoffBase = memsim.Time(64)
+	// maxCopyReroutes bounds how many times one object's copy may be
+	// re-routed off freshly poisoned destination lines.
+	maxCopyReroutes = 8
+)
+
+// anyTierFaulty reports whether any tier of the machine carries a fault
+// model; cycles precompute it so fault-free runs pay one bool test per
+// probe site and nothing else.
+func anyTierFaulty(m *memsim.Machine) bool {
+	for _, t := range m.Topology().Tiers() {
+		if t.FaultEnabled() {
+			return true
+		}
+	}
+	return false
+}
+
+// readWordRetry is the resilient form of heap.ReadWord: a charged read
+// whose transient media faults are retried with exponential backoff in
+// virtual time. Bounded attempts; costs land in CollectionStats.Faults.
+// With no fault model installed it is exactly one charged read.
+func (gw *gcWorker) readWordRetry(addr heap.Address) uint64 {
+	c, h, w := gw.c, gw.c.h, gw.w
+	v := h.ReadWord(w, addr)
+	if !c.faulty {
+		return v
+	}
+	dev := h.DevOf(addr)
+	if !dev.FaultEnabled() {
+		return v
+	}
+	backoff := faultBackoffBase
+	for attempt := 0; dev.TransientReadFault(addr); attempt++ {
+		c.stats.Faults.TransientFaults++
+		if attempt >= maxFaultRetries {
+			c.fail(fmt.Errorf("gc: transient-fault storm at %#x on %s: %d correctable faults in a row",
+				addr, dev.Name(), attempt+1))
+			break
+		}
+		w.Advance(backoff)
+		c.stats.Faults.BackoffTime += backoff
+		backoff *= 2
+		v = h.ReadWord(w, addr)
+		c.stats.Faults.Retries++
+	}
+	return v
+}
+
+// destDevice picks the device for a fresh destination region of the given
+// kind: the placement-policy device, unless its tier has tripped into
+// degraded mode — then the first healthy device in placement-policy order
+// takes over (graceful tier degradation). A nil return means "follow the
+// policy" (also when every tier is degraded: a slow tier beats none).
+func (c *cycle) destDevice(kind heap.RegionKind) *memsim.Device {
+	if !c.faulty {
+		return nil
+	}
+	want := c.h.OldDevice()
+	if kind == heap.RegionSurvivor {
+		want = c.h.SurvivorDevice()
+	}
+	if !want.Degraded() {
+		return nil
+	}
+	for _, d := range c.h.PlacementDevices() {
+		if d != want && !d.Degraded() {
+			c.stats.Faults.TierFallbacks++
+			return d
+		}
+	}
+	return nil
+}
+
+// copyObject performs the evacuation copy, probing the destination for
+// hard UEs the copy itself may have worn into existence. A poisoned
+// destination is abandoned in place — the copy stays behind as a
+// well-formed dead filler past which the bump pointer has already moved —
+// the bad line is recorded against its region (fencing it for retirement
+// once its survivors are evacuated), and the copy re-routes to a fresh
+// destination. Returns the final physical/final addresses, or ok=false
+// after c.fail.
+func (gw *gcWorker) copyObject(ref heap.Address, size int64, promote bool, phys, final heap.Address) (heap.Address, heap.Address, bool) {
+	c, h, w := gw.c, gw.c.h, gw.w
+	for reroutes := 0; ; reroutes++ {
+		w.Advance(110 + size/8)
+		h.CopyWords(w, phys, ref, size)
+		if !c.faulty {
+			return phys, final, true
+		}
+		dev := h.DevOf(phys)
+		if !dev.FaultEnabled() {
+			return phys, final, true
+		}
+		line, bad := dev.PoisonedInRange(phys, size*heap.WordBytes)
+		if !bad {
+			return phys, final, true
+		}
+		// Hard UE under the fresh copy: fence the line's region and
+		// re-route. CAS forwarding tolerates the re-route — nothing has
+		// been published yet.
+		if h.NoteBadLine(line) {
+			c.stats.Faults.UEsDiscovered++
+		}
+		if reroutes >= maxCopyReroutes {
+			c.fail(fmt.Errorf("gc: copy of %#x re-routed %d times off poisoned lines: %w",
+				ref, reroutes, ErrTierExhausted))
+			return 0, 0, false
+		}
+		var ok bool
+		phys, final, ok = gw.allocDst(size, promote)
+		if !ok {
+			if c.err == nil {
+				c.fail(fmt.Errorf("gc: no space to re-route copy of %#x: %w", ref, ErrTierExhausted))
+			}
+			return 0, 0, false
+		}
+		c.stats.Faults.RedirectedCopies++
+	}
+}
+
+// mergeBadOld appends the bad-lined old regions not already among the
+// mixed-collection candidates (BeginMixedCollection must not see a region
+// twice).
+func mergeBadOld(cands, bad []*heap.Region) []*heap.Region {
+	if len(bad) == 0 {
+		return cands
+	}
+	have := make(map[int]bool, len(cands))
+	for _, r := range cands {
+		have[r.Index] = true
+	}
+	for _, r := range bad {
+		if !have[r.Index] {
+			cands = append(cands, r)
+		}
+	}
+	return cands
+}
+
+// noteNewUEs drains every faulty tier's freshly poisoned lines into the
+// heap's per-region bad-line accounting, and folds live old regions that
+// now carry bad lines into badOld so the caller can schedule their
+// evacuation. Runs at collection end (uncharged bookkeeping).
+func (b *base) noteNewUEs(s *CollectionStats) {
+	for _, t := range b.h.Machine().Topology().Tiers() {
+		for _, line := range t.DrainNewUEs() {
+			if b.h.NoteBadLine(line) {
+				s.Faults.UEsDiscovered++
+			}
+		}
+	}
+}

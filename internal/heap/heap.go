@@ -165,6 +165,10 @@ type Heap struct {
 	regions   []*Region // heap regions then cache regions
 	freeHeap  []int     // free heap-region indices (LIFO)
 	freeCache []int
+	retired   []int // wear-retired region indices (permanently fenced)
+
+	// badLines dedupes uncorrectable-error line reports (see NoteBadLine).
+	badLines map[Address]bool
 
 	// Struct-of-arrays mirrors of the hot per-region metadata, indexed by
 	// region id. The evacuation loop's kind/cset classification and DevOf
@@ -360,6 +364,28 @@ func (h *Heap) AuxDevice() *memsim.Device { return h.auxDev }
 
 // MetaDevice returns the device backing the metadata/journal area.
 func (h *Heap) MetaDevice() *memsim.Device { return h.metaDev }
+
+// PlacementDevices returns the distinct devices the placement policy
+// binds, in policy-field order (eden, survivor, old, humongous, cache,
+// aux, meta). The collector walks this order when a degraded tier forces
+// destination placement onto a fallback tier.
+func (h *Heap) PlacementDevices() []*memsim.Device {
+	all := []*memsim.Device{h.edenDev, h.survDev, h.oldDev, h.humoDev, h.cacheDev, h.auxDev, h.metaDev}
+	out := all[:0]
+	for _, d := range all {
+		dup := false
+		for _, seen := range out {
+			if seen == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, d)
+		}
+	}
+	return out
+}
 
 func (h *Heap) rawPeek(addr uint64) uint64    { return h.words[h.index(addr)] }
 func (h *Heap) rawPoke(addr uint64, v uint64) { h.words[h.index(addr)] = v }

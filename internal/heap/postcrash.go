@@ -66,7 +66,9 @@ type PostCrashScan struct {
 func (h *Heap) ScanPostCrash() PostCrashScan {
 	var s PostCrashScan
 	for _, r := range h.regions {
-		if r.Kind == RegionFree {
+		if r.Kind == RegionFree || r.Kind == RegionRetired {
+			// Retired regions are empty and permanently fenced; they hold
+			// nothing a recovery pass could classify.
 			continue
 		}
 		rs := RegionScan{Index: r.Index, Kind: r.Kind}

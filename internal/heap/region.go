@@ -20,6 +20,11 @@ const (
 	RegionOld
 	// RegionCache is a DRAM write-cache region mapped to an NVM region.
 	RegionCache
+	// RegionRetired is a wear-retired region: its media carries at least
+	// one uncorrectable error, so it is permanently fenced from the
+	// allocator (never returned to a free list). Retired regions are
+	// always empty — survivors are evacuated out before retirement.
+	RegionRetired
 )
 
 // String returns the region kind's name.
@@ -35,6 +40,8 @@ func (k RegionKind) String() string {
 		return "old"
 	case RegionCache:
 		return "cache"
+	case RegionRetired:
+		return "retired"
 	default:
 		return fmt.Sprintf("RegionKind(%d)", uint8(k))
 	}
@@ -62,6 +69,16 @@ type Region struct {
 	// data and are discarded by the recovery pass; the flag is cleared
 	// when the collection finishes normally.
 	ClaimedInGC bool
+
+	// Fallback marks a region claimed on a device other than the one the
+	// placement policy declares for its kind — graceful tier degradation
+	// routed it to a healthy fallback tier.
+	Fallback bool
+
+	// BadLines counts the uncorrectable-error lines inside the region.
+	// Wear is permanent: the count survives reset, and Retire routes any
+	// bad-lined region to the retired state instead of a free list.
+	BadLines int
 
 	// MapTo is the NVM region a cache region will be flushed into
 	// (the write cache's region mapping).
@@ -104,13 +121,15 @@ func (r *Region) Unalloc(addr Address, nWords int64) bool {
 	return false
 }
 
-// reset returns the region to its pristine free state.
+// reset returns the region to its pristine free state. BadLines survives:
+// media wear is permanent.
 func (r *Region) reset() {
 	r.Kind = RegionFree
 	r.Top = r.Start
 	r.MapTo = nil
 	r.InCSet = false
 	r.ClaimedInGC = false
+	r.Fallback = false
 	r.RemSet.Clear()
 }
 
@@ -155,18 +174,23 @@ func (h *Heap) ClaimRegion(kind RegionKind, dev *memsim.Device) (*Region, bool) 
 	r := h.regions[idx]
 	r.Kind = kind
 	r.ClaimedInGC = h.inGC
-	switch {
-	case kind == RegionCache:
-		r.Dev = h.cacheDev
-	case dev != nil:
-		r.Dev = dev
-	case kind == RegionEden:
-		r.Dev = h.edenDev
-	case kind == RegionSurvivor:
-		r.Dev = h.survDev
+	var want *memsim.Device
+	switch kind {
+	case RegionCache:
+		want = h.cacheDev
+	case RegionEden:
+		want = h.edenDev
+	case RegionSurvivor:
+		want = h.survDev
 	default:
-		r.Dev = h.oldDev
+		want = h.oldDev
 	}
+	if dev != nil && kind != RegionCache {
+		r.Dev = dev
+	} else {
+		r.Dev = want
+	}
+	r.Fallback = r.Dev != want
 	h.syncRegionMeta(r)
 	switch kind {
 	case RegionEden:
@@ -179,7 +203,11 @@ func (h *Heap) ClaimRegion(kind RegionKind, dev *memsim.Device) (*Region, bool) 
 	return r, true
 }
 
-// Retire returns a region to its free pool and clears its state.
+// Retire returns a region to its free pool and clears its state — unless
+// the region's media has accumulated uncorrectable errors, in which case
+// it is routed to the permanently-fenced retired state instead: never on
+// a free list, never claimable again. (Only heap-pool regions wear-retire;
+// the DRAM scratch pool sits on volatile tiers without a fault model.)
 func (h *Heap) Retire(r *Region) {
 	if h.cfg.Poison {
 		lo, hi := h.index(r.Start), h.index(r.End)
@@ -188,12 +216,64 @@ func (h *Heap) Retire(r *Region) {
 		}
 	}
 	r.reset()
+	if r.BadLines > 0 && !r.CachePool {
+		r.Kind = RegionRetired
+		h.syncRegionMeta(r)
+		h.retired = append(h.retired, r.Index)
+		return
+	}
 	h.syncRegionMeta(r)
 	if r.CachePool {
 		h.freeCache = append(h.freeCache, r.Index)
 	} else {
 		h.freeHeap = append(h.freeHeap, r.Index)
 	}
+}
+
+// NoteBadLine records an uncorrectable error on the 64-byte line
+// containing addr against its region's bad-line count. Duplicate reports
+// of the same line are ignored. It reports whether a new line was
+// recorded (false for duplicates and non-region addresses).
+func (h *Heap) NoteBadLine(addr Address) bool {
+	r := h.RegionOf(addr)
+	if r == nil {
+		return false
+	}
+	line := addr &^ (memsim.LineSize - 1)
+	if h.badLines == nil {
+		h.badLines = make(map[Address]bool)
+	}
+	if h.badLines[line] {
+		return false
+	}
+	h.badLines[line] = true
+	r.BadLines++
+	return true
+}
+
+// RetiredRegions returns the wear-retired regions in retirement order.
+func (h *Heap) RetiredRegions() []*Region {
+	out := make([]*Region, len(h.retired))
+	for i, idx := range h.retired {
+		out[i] = h.regions[idx]
+	}
+	return out
+}
+
+// RetiredCount returns the number of wear-retired regions.
+func (h *Heap) RetiredCount() int { return len(h.retired) }
+
+// BadLinedOld returns the live old regions carrying uncorrectable-error
+// lines, in index order. The collector folds them into the next
+// collection set so their survivors are evacuated and the regions retire.
+func (h *Heap) BadLinedOld() []*Region {
+	var out []*Region
+	for _, r := range h.old {
+		if r.BadLines > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // FreeHeapRegions returns the number of free Java-heap regions.

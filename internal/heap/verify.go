@@ -83,7 +83,7 @@ func (h *Heap) CheckInvariants() error {
 		if r.Top < r.Start || r.Top > r.End {
 			return fmt.Errorf("region %d: bump pointer out of bounds", r.Index)
 		}
-		if r.Kind == RegionFree || r.Kind == RegionCache {
+		if r.Kind == RegionFree || r.Kind == RegionCache || r.Kind == RegionRetired {
 			continue
 		}
 		for a := r.Start; a < r.Top; {
@@ -104,7 +104,7 @@ func (h *Heap) CheckInvariants() error {
 			return
 		}
 		r := h.RegionOf(ref)
-		if r == nil || r.Kind == RegionFree || r.Kind == RegionCache {
+		if r == nil || r.Kind == RegionFree || r.Kind == RegionCache || r.Kind == RegionRetired {
 			err = fmt.Errorf("%s: reference %#x points into %v space", from, ref, kindName(r))
 			return
 		}

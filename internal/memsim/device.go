@@ -181,6 +181,10 @@ type Device struct {
 
 	stats DeviceStats
 	trace *Trace
+
+	// fault is the media-fault state (nil when no FaultModel is installed;
+	// see fault.go). The nil check is the only cost a fault-free run pays.
+	fault *faultState
 }
 
 // NewDevice creates a device with the given profile. If traceBucket is
@@ -273,6 +277,10 @@ func (d *Device) access(now Time, class opClass, bytes int64, seq bool) Time {
 	amp := d.amplify(bytes, seq)
 	wf := d.WriteFraction(now)
 	bw := d.effBW(class, wf)
+	if d.fault != nil && d.fault.degraded {
+		// Degraded mode: media management slows the whole tier down.
+		bw /= d.fault.model.bwX()
+	}
 	transfer := Time(float64(amp) / bw)
 	if transfer < 1 {
 		transfer = 1
@@ -307,6 +315,9 @@ func (d *Device) access(now Time, class opClass, bytes int64, seq bool) Time {
 		lat = d.prof.ReadLatency
 	} else {
 		lat = d.prof.WriteLatency
+	}
+	if d.fault != nil && d.fault.degraded {
+		lat = Time(float64(lat) * d.fault.model.latencyX())
 	}
 	return end + lat
 }

@@ -26,6 +26,10 @@ type TierSpec struct {
 
 	CapacityBytes int64 // 0 = unbounded (the simulator does not enforce it)
 	Interleave    int   // DIMM interleave ways; 0 = unspecified
+
+	// Fault is the tier's media-fault model (see fault.go). The zero value
+	// leaves the tier immortal and changes nothing.
+	Fault FaultModel
 }
 
 // Tier is one instantiated memory tier: a Device plus its spec. The
@@ -77,6 +81,9 @@ func NewTopology(specs []TierSpec, traceBucket Time) (*Topology, error) {
 			return nil, fmt.Errorf("memsim: duplicate tier name %q", spec.Name)
 		}
 		t := &Tier{Device: NewDevice(spec.Name, spec.Profile, traceBucket), spec: spec}
+		if spec.Fault.Enabled() {
+			t.Device.SetFaultModel(spec.Fault)
+		}
 		tp.tiers = append(tp.tiers, t)
 		tp.byName[spec.Name] = t
 	}

@@ -4,13 +4,15 @@
 # baseline (the pre-event-horizon scheduler at the seed commit 5a7bcd4,
 # measured on the same host via a git worktree with these benchmarks
 # copied in). Also regenerates results/BENCH_topology.json from the
-# memory-tier sweep (tier-sweep experiment, quick mode).
+# memory-tier sweep and results/BENCH_faults.json from the media-fault
+# sweep (both experiments in quick mode).
 # Usage: scripts/bench_sim.sh [count]
 set -eu
 cd "$(dirname "$0")/.."
 COUNT="${1:-3}"
 OUT=results/BENCH_sim.json
 TOPO_OUT=results/BENCH_topology.json
+FAULT_OUT=results/BENCH_faults.json
 
 RAW=$(go test -run '^$' -bench 'BenchmarkMachineRun|BenchmarkCacheTouchRange|BenchmarkYoungGC|BenchmarkMixedGC|BenchmarkEvacuateHot' \
 	-benchmem -count="$COUNT" . | tee /dev/stderr)
@@ -75,3 +77,28 @@ NF == ncols {
 }
 END { printf "\n  ]\n}\n" >> out }'
 echo "wrote $TOPO_OUT"
+
+# Fault sweep: mutator survival, region retirement, and self-healing cost
+# as lines wear out under a media-fault model. CSV rows wrap into a JSON
+# document exactly like the tier sweep above.
+go run ./cmd/nvmbench -run fault-sweep -quick -format csv | awk -v out="$FAULT_OUT" '
+BEGIN { FS = "," }
+/^#/ { next }
+ncols == 0 { ncols = NF; for (i = 1; i <= NF; i++) col[i] = $i; next }
+NF == ncols {
+	if (rows++) printf ",\n" >> out
+	else {
+		printf "{\n  \"generated_by\": \"scripts/bench_sim.sh\",\n" > out
+		printf "  \"command\": \"nvmbench -run fault-sweep -quick -format csv\",\n" >> out
+		printf "  \"rows\": [\n" >> out
+	}
+	printf "    {" >> out
+	for (i = 1; i <= NF; i++) {
+		if (i > 1) printf ", " >> out
+		if ($i + 0 == $i) printf "\"%s\": %s", col[i], $i >> out
+		else printf "\"%s\": \"%s\"", col[i], $i >> out
+	}
+	printf "}" >> out
+}
+END { printf "\n  ]\n}\n" >> out }'
+echo "wrote $FAULT_OUT"
