@@ -61,9 +61,12 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMachineRun|BenchmarkCacheTouchRange|BenchmarkYoungGC|BenchmarkMixedGC|BenchmarkEvacuateHot' -benchmem -count=1 .
 
 # bench-smoke runs the three GC microbenchmarks once each — a CI guard
-# that keeps the bench path itself compiling and running, without timing.
+# that keeps the bench path itself compiling and running — then runs the
+# perf guard: BenchmarkYoungGC must stay within 25% of the recorded
+# floor in results/BENCH_sim.json (see scripts/bench_guard.sh).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkYoungGC|BenchmarkMixedGC|BenchmarkEvacuateHot' -benchtime=1x -benchmem -count=1 .
+	./scripts/bench_guard.sh
 
 # profile records flamegraph-ready CPU and allocation profiles of the GC
 # hot path under results/ (see scripts/profile_gc.sh).

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"testing"
+
+	"nvmgc/internal/gc"
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+	"nvmgc/internal/workload"
+)
+
+// TestTierSweepPointSchedulerEquivalence pins the scheduler-mode
+// equivalence contract on a full application run in the tier-sweep's
+// hardest configuration (young generation on remote DRAM inside the
+// three-tier topology): the eager-yield reference, the delegated
+// scheduler with batching disabled, and the delegated scheduler with the
+// default batch window must produce the identical result — total time,
+// GC time, and per-tier traffic. The gc package's equivalence tests
+// cover collector-only cycles; this one covers the mutator/allocation
+// path of a whole workload, which is where a regression in the
+// delegation or batching discipline would otherwise only surface as a
+// silent drift in the archived sweep figures.
+func TestTierSweepPointSchedulerEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full app run; skipped in -short")
+	}
+	base := heap.PlacementPolicy{
+		Eden: "remote-dram", Survivor: "remote-dram",
+		Old: "nvm", Humongous: "nvm",
+		Cache: "local-dram", Aux: "local-dram", Meta: "nvm",
+	}
+	type snap struct {
+		total, gcTime memsim.Time
+		tiers         map[string]memsim.DeviceStats
+	}
+	run := func(eager bool, window int) snap {
+		mc := machineConfig(false)
+		mc.EagerYield = eager
+		mc.BatchWindow = window
+		mc.Tiers = tierSweepSpecs()
+		m := memsim.NewMachine(mc)
+		hc := heapConfig(memsim.NVM, false)
+		hc.Placement = base
+		h, err := heap.New(m, hc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := gc.NewG1(h, gc.Vanilla())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runWith(col, runSpec{
+			app: workload.ByName("page-rank"), threads: 16, scale: 0.5, seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := snap{total: res.Total, gcTime: res.GC, tiers: map[string]memsim.DeviceStats{}}
+		for _, tier := range m.Topology().Tiers() {
+			s.tiers[tier.Name()] = tier.Stats()
+		}
+		return s
+	}
+	ref := run(true, 1)
+	for _, mode := range []struct {
+		name   string
+		eager  bool
+		window int
+	}{
+		{"delegated-unbatched", false, 1},
+		{"delegated-batched", false, 0},
+	} {
+		got := run(mode.eager, mode.window)
+		if got.total != ref.total || got.gcTime != ref.gcTime {
+			t.Errorf("%s: total %d gc %d, eager reference total %d gc %d",
+				mode.name, got.total, got.gcTime, ref.total, ref.gcTime)
+		}
+		for name, want := range ref.tiers {
+			if got.tiers[name] != want {
+				t.Errorf("%s: tier %s stats %+v, eager reference %+v",
+					mode.name, name, got.tiers[name], want)
+			}
+		}
+	}
+}

@@ -46,7 +46,14 @@ func anyTierFaulty(m *memsim.Machine) bool {
 // With no fault model installed it is exactly one charged read.
 func (gw *gcWorker) readWordRetry(addr heap.Address) uint64 {
 	c, h, w := gw.c, gw.c.h, gw.w
-	v := h.ReadWord(w, addr)
+	if c.faulty {
+		// Transient-fault probes consult device fault state keyed by the
+		// reader's position; run the read unbatched so the probe sees
+		// the clock unbatched execution gives it.
+		w.BatchPause()
+		defer w.BatchResume()
+	}
+	v := h.ReadWordSettled(w, addr)
 	if !c.faulty {
 		return v
 	}
@@ -65,7 +72,7 @@ func (gw *gcWorker) readWordRetry(addr heap.Address) uint64 {
 		w.Advance(backoff)
 		c.stats.Faults.BackoffTime += backoff
 		backoff *= 2
-		v = h.ReadWord(w, addr)
+		v = h.ReadWordSettled(w, addr)
 		c.stats.Faults.Retries++
 	}
 	return v
@@ -107,8 +114,17 @@ func (c *cycle) destDevice(kind heap.RegionKind) *memsim.Device {
 func (gw *gcWorker) copyObject(ref heap.Address, size int64, promote bool, phys, final heap.Address) (heap.Address, heap.Address, bool) {
 	c, h, w := gw.c, gw.c.h, gw.w
 	for reroutes := 0; ; reroutes++ {
+		// Batch window around the copy itself: the destination is this
+		// worker's private bump allocation and the source payload is
+		// immutable during traversal (racing evacuators only CAS the
+		// header, which the copy's charge accounting never reads). The
+		// window nests inside the traversal window when processSlot is
+		// on the stack; the drain below settles the wear counters the
+		// copy advanced before the UE probe runs.
+		w.BatchBegin()
 		w.Advance(110 + size/8)
 		h.CopyWords(w, phys, ref, size)
+		w.BatchEnd()
 		if !c.faulty {
 			return phys, final, true
 		}
@@ -116,13 +132,24 @@ func (gw *gcWorker) copyObject(ref heap.Address, size int64, promote bool, phys,
 		if !dev.FaultEnabled() {
 			return phys, final, true
 		}
+		// Nested inside a traversal window BatchEnd above does not
+		// settle; drain so the wear the copy consumed is counted before
+		// the probe.
+		w.Drain()
 		line, bad := dev.PoisonedInRange(phys, size*heap.WordBytes)
 		if !bad {
 			return phys, final, true
 		}
 		// Hard UE under the fresh copy: fence the line's region and
 		// re-route. CAS forwarding tolerates the re-route — nothing has
-		// been published yet.
+		// been published yet. The abandoned copy must really be the dead
+		// filler it stays behind as: CopyWords replicated the source
+		// header verbatim, and a racing evacuator may have CAS-forwarded
+		// the source mid-copy, so without rewriting the header the stale
+		// copy could carry a forwarding mark into a region that outlives
+		// the collection (the winner's path scrubs its copy's mark only
+		// at the final destination).
+		h.WriteFiller(phys, size)
 		if h.NoteBadLine(line) {
 			c.stats.Faults.UEsDiscovered++
 		}

@@ -1,0 +1,154 @@
+package memsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// hostCount is a static HostOp target: it adds a to the counter env
+// points at (see Worker.HostOp — deferred host effects must be static
+// functions so deferring them allocates nothing).
+func hostCount(env any, a, _ uint64) { *(env.(*int64)) += int64(a) }
+
+// batchWorkload is schedWorkload's batched sibling: the same kind of
+// device-heavy op mix, but issued inside quiescence-epoch batch windows
+// with queued Advances, deferred host mutations (HostOp) and settled
+// flush points (Drain) mixed in — every mechanism the batching layer
+// adds over plain dispatch.
+func batchWorkload(m *Machine, counters []int64) func(*Worker) {
+	return func(w *Worker) {
+		base := uint64(w.ID()) << 22
+		for i := 0; i < 120; i++ {
+			w.BatchBegin()
+			w.Read(m.NVM, base+uint64(i*4096), 256, false)
+			w.Advance(Time(i%5) + 1)
+			w.Write(m.NVM, base+uint64(i*4096), 16, false)
+			w.HostOp(hostCount, &counters[w.ID()], 1, 0)
+			if i%4 == 0 {
+				w.Prefetch(m.NVM, base+uint64((i+8)*4096), 128, false)
+			}
+			if i%7 == 0 {
+				w.Read(m.DRAM, uint64(i*64), 64, i%2 == 0) // shared lines
+			}
+			if i%9 == 0 {
+				w.WriteNT(m.NVM, base+1<<21+uint64(i)*256, 256)
+			}
+			if i%11 == 0 {
+				w.Drain() // mid-window flush point
+			}
+			w.BatchEnd()
+			if i%13 == 0 {
+				w.Spin(5)
+			}
+			w.Advance(Time(i % 3))
+		}
+	}
+}
+
+func runBatchWorkload(workers, window int, eager bool) (schedSnapshot, int64) {
+	cfg := DefaultConfig()
+	cfg.LLCBytes = 1 << 16
+	cfg.LLCAssoc = 4
+	cfg.EagerYield = eager
+	cfg.BatchWindow = window
+	m := NewMachine(cfg)
+	counters := make([]int64, workers)
+	el := m.Run(workers, batchWorkload(m, counters))
+	var hostOps int64
+	for _, c := range counters {
+		hostOps += c
+	}
+	snap := schedSnapshot{elapsed: el, now: m.Now(), nvm: m.NVM.Stats(), dram: m.DRAM.Stats(), llc: m.LLC.Stats()}
+	return snap, hostOps
+}
+
+// TestGoldenBatchWindowSweep is the batching layer's golden test at the
+// simulator level: for a workload that exercises windows, queued
+// advances, deferred host ops and mid-window flush points, every batch
+// window size (1 = disabled, small, default, unbounded) must produce
+// bit-identical virtual times, device counters and cache counters to the
+// eager-yield reference — and every deferred host op must have run
+// exactly once.
+func TestGoldenBatchWindowSweep(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 16} {
+		eager, wantOps := runBatchWorkload(workers, 1, true)
+		if want := int64(workers * 120); wantOps != want {
+			t.Fatalf("workers=%d: eager reference ran %d host ops, want %d", workers, wantOps, want)
+		}
+		for _, window := range []int{1, 4, 64, -1} {
+			got, ops := runBatchWorkload(workers, window, false)
+			if got != eager {
+				t.Errorf("workers=%d window=%d: diverged from eager reference:\n got %+v\nwant %+v",
+					workers, window, got, eager)
+			}
+			if ops != wantOps {
+				t.Errorf("workers=%d window=%d: %d host ops ran, want %d", workers, window, ops, wantOps)
+			}
+		}
+	}
+}
+
+// wearSnapshot captures everything the fault layer decides during a run:
+// the final clock, the full per-device fault counters (DegradedAt pins
+// the virtual time the degraded-mode trip fired), and the poisoned lines
+// in poisoning order (victim identity and discovery order).
+type wearSnapshot struct {
+	now   Time
+	stats FaultStats
+	ues   []uint64
+}
+
+func runWearWorkload(workers, window int, eager bool) wearSnapshot {
+	cfg := DefaultConfig()
+	cfg.LLCBytes = 1 << 16
+	cfg.LLCAssoc = 4
+	cfg.EagerYield = eager
+	cfg.BatchWindow = window
+	tiers := DefaultTierSpecs(cfg.DRAM, cfg.NVM)
+	tiers[1].Fault = FaultModel{Seed: 42, WearThresholdMean: 6, WearThresholdSpread: 2, DegradeUETrip: 4}
+	cfg.Tiers = tiers
+	m := NewMachine(cfg)
+	m.Run(workers, func(w *Worker) {
+		base := uint64(w.ID()) << 18
+		for i := 0; i < 40; i++ {
+			w.BatchBegin()
+			for j := 0; j < 8; j++ {
+				// Hammer a small set of lines so seeded wear-out fires
+				// mid-run, inside batch windows.
+				w.Write(m.NVM, base+uint64((i%10)*256+j*64), 16, false)
+				w.Advance(3)
+			}
+			w.BatchEnd()
+		}
+	})
+	return wearSnapshot{now: m.Now(), stats: m.NVM.FaultStats(), ues: m.NVM.DrainNewUEs()}
+}
+
+// TestFaultDeterminismUnderBatching proves the fault layer is invariant
+// under virtual-time batching: with a seeded wear model, every wear-out
+// fires on the same victim line, in the same order, with the tier's
+// degraded-mode trip at the same virtual time, whether charges settle at
+// issue (window 1, or the eager reference) or through batched settlement
+// at any window size.
+func TestFaultDeterminismUnderBatching(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		ref := runWearWorkload(workers, 1, true)
+		if ref.stats.HardErrors == 0 {
+			t.Fatalf("workers=%d: wear model never fired — the test exercises nothing", workers)
+		}
+		if !ref.stats.Degraded {
+			t.Fatalf("workers=%d: degraded-mode trip never fired — DegradedAt is unpinned", workers)
+		}
+		for _, window := range []int{1, 4, 64, -1} {
+			got := runWearWorkload(workers, window, false)
+			if got.now != ref.now || got.stats != ref.stats {
+				t.Errorf("workers=%d window=%d: fault outcome diverged:\n got now=%d stats=%+v\nwant now=%d stats=%+v",
+					workers, window, got.now, got.stats, ref.now, ref.stats)
+			}
+			if !reflect.DeepEqual(got.ues, ref.ues) {
+				t.Errorf("workers=%d window=%d: victim lines diverged:\n got %x\nwant %x",
+					workers, window, got.ues, ref.ues)
+			}
+		}
+	}
+}

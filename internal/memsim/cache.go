@@ -50,6 +50,27 @@ type Cache struct {
 	keys       []uint64
 	hitLatency Time
 
+	// mru is the index (into keys/lines) of the most recently touched
+	// line. GC traffic is heavily line-local — header then payload, CAS
+	// read then write, object init then reference init — so a single
+	// compare against keys[mru] short-circuits the way scan for the
+	// repeat-touch case. Pure lookup acceleration: the hit path taken is
+	// byte-identical to finding the same way by scanning. A stale mru is
+	// harmless (keys[mru] no longer matches and the scan runs).
+	mru int
+
+	// owners tags each way with the worker that last touched it (worker
+	// id + 1; 0 = untouched), piggybacked on the packed-key arrays. The
+	// scheduler's batch filter consults it: a line still owned by the
+	// enqueueing worker (or absent) provably cannot carry another
+	// runnable worker's freshly cached state, so a queued private-window
+	// op may defer its settlement; a foreign-owned line conservatively
+	// forces the queue to drain first. acting is the tag of the worker
+	// whose operation is currently settling (set by execOp, so delegated
+	// settlement tags lines with the op's owner, not the runner).
+	owners []uint8
+	acting uint8
+
 	pbuf [prefetchBufferSize]prefetchEntry
 	// pbufIdx maps a staged (device, line) to its slot, replacing the
 	// O(prefetchBufferSize) linear scans on every lookup/take.
@@ -86,6 +107,7 @@ func NewCache(capacity int64, assoc int, hitLatency Time) *Cache {
 		setMask:    uint64(n - 1),
 		lines:      make([]cacheLine, n*assoc),
 		keys:       make([]uint64, n*assoc),
+		owners:     make([]uint8, n*assoc),
 		hitLatency: hitLatency,
 		pbufIdx:    make(map[pbufKey]int, prefetchBufferSize),
 	}
@@ -157,6 +179,20 @@ func (c *Cache) pbufContains(dev *Device, lineAddr uint64) bool {
 // dirtied lines pay the device's random-access amplification on eviction.
 func (c *Cache) touchLine(dev *Device, lineAddr uint64, now Time, write, seq bool) (hit bool, ready Time) {
 	key := lineKey(dev, lineAddr)
+	// Repeat touch of the most recently used line: a (dev, line) pair
+	// maps to exactly one way cache-wide, so a key match at mru is the
+	// same hit the set scan below would find.
+	if i := c.mru; c.keys[i] == key {
+		l := &c.lines[i]
+		l.lastUse = now
+		if write {
+			l.dirty = true
+			l.seqDirty = seq
+		}
+		c.owners[i] = c.acting
+		c.hits++
+		return true, l.readyAt
+	}
 	base := int((lineAddr/LineSize)&c.setMask) * c.assoc
 	for i, k := range c.keys[base : base+c.assoc] {
 		if k == key {
@@ -166,6 +202,8 @@ func (c *Cache) touchLine(dev *Device, lineAddr uint64, now Time, write, seq boo
 				l.dirty = true
 				l.seqDirty = seq
 			}
+			c.mru = base + i
+			c.owners[base+i] = c.acting
 			c.hits++
 			return true, l.readyAt
 		}
@@ -209,6 +247,26 @@ func (c *Cache) installInSet(base int, dev *Device, lineAddr uint64, now Time, w
 	}
 	*victim = cacheLine{dev: dev, tag: lineAddr, dirty: write, seqDirty: write && seq, valid: true, lastUse: now, readyAt: readyAt}
 	c.keys[base+vi] = lineKey(dev, lineAddr)
+	c.owners[base+vi] = c.acting
+	c.mru = base + vi
+}
+
+// lineForeign reports whether the line is cached and owned by a worker
+// other than tag — evidence that another runnable worker's state sits on
+// the line, which conservatively ends a settlement batch (see
+// Worker.enqueue). Absent lines cannot carry foreign cached state.
+func (c *Cache) lineForeign(dev *Device, lineAddr uint64, tag uint8) bool {
+	key := lineKey(dev, lineAddr)
+	if i := c.mru; c.keys[i] == key {
+		return c.owners[i] != tag
+	}
+	base := int((lineAddr/LineSize)&c.setMask) * c.assoc
+	for i, k := range c.keys[base : base+c.assoc] {
+		if k == key {
+			return c.owners[base+i] != tag
+		}
+	}
+	return false
 }
 
 // touchRange probes every line spanned by [addr, addr+n) and returns the
@@ -231,20 +289,37 @@ func (c *Cache) touchRange(dev *Device, addr uint64, n int64, now Time, write, s
 	key := lineKey(dev, first) // consecutive lines: key advances by 1
 	for k := 0; k < nLines; k++ {
 		hit := false
-		for i, kk := range c.keys[base : base+assoc] {
-			if kk == key {
-				l := &c.lines[base+i]
-				l.lastUse = now
-				if write {
-					l.dirty = true
-					l.seqDirty = seq
+		if i := c.mru; c.keys[i] == key {
+			l := &c.lines[i]
+			l.lastUse = now
+			if write {
+				l.dirty = true
+				l.seqDirty = seq
+			}
+			c.owners[i] = c.acting
+			c.hits++
+			if l.readyAt > ready {
+				ready = l.readyAt
+			}
+			hit = true
+		} else {
+			for i, kk := range c.keys[base : base+assoc] {
+				if kk == key {
+					l := &c.lines[base+i]
+					l.lastUse = now
+					if write {
+						l.dirty = true
+						l.seqDirty = seq
+					}
+					c.mru = base + i
+					c.owners[base+i] = c.acting
+					c.hits++
+					if l.readyAt > ready {
+						ready = l.readyAt
+					}
+					hit = true
+					break
 				}
-				c.hits++
-				if l.readyAt > ready {
-					ready = l.readyAt
-				}
-				hit = true
-				break
 			}
 		}
 		if !hit {
@@ -380,6 +455,7 @@ func (c *Cache) invalidateRange(dev *Device, addr uint64, n int64) {
 				l.valid = false
 				l.dirty = false
 				c.keys[base+i] = 0
+				c.owners[base+i] = 0
 				break
 			}
 		}

@@ -28,6 +28,15 @@ type Config struct {
 	// yields before every device-visible operation (see SetEagerYield).
 	EagerYield bool
 
+	// BatchWindow caps how many charged operations a worker may queue
+	// inside a quiescence-epoch batch window (see Worker.BatchBegin)
+	// before settling them. 0 selects the default (64); 1 disables
+	// batching (every op settles at issue, the reference behavior); a
+	// negative value removes the cap (windows settle only at their end
+	// or at a flush point). Virtual-time results are bit-identical at
+	// any setting — the golden batch-sweep tests assert this.
+	BatchWindow int
+
 	// WatchdogSpins bounds consecutive Spin iterations before the deadlock
 	// watchdog inspects the phase: if every unfinished worker is also
 	// spinning, the phase can never progress and Run panics with a
@@ -81,7 +90,8 @@ type Machine struct {
 	now   Time
 	marks []PhaseMark
 
-	eagerYield bool
+	eagerYield  bool
+	batchWindow int // normalized Config.BatchWindow (see SetBatchWindow)
 
 	// Persistence domain and fault injection (see persist.go).
 	pd        *PersistDomain
@@ -118,6 +128,7 @@ func NewMachine(cfg Config) *Machine {
 		eagerYield: cfg.EagerYield,
 		wdSpins:    wd,
 	}
+	m.SetBatchWindow(cfg.BatchWindow)
 	m.DRAM = m.aliasTier("dram", false)
 	m.NVM = m.aliasTier("nvm", true)
 	return m
@@ -161,6 +172,37 @@ func (m *Machine) Now() Time { return m.now }
 // handoffs per operation instead of one per horizon crossing.
 func (m *Machine) SetEagerYield(on bool) { m.eagerYield = on }
 
+// defaultBatchWindow caps a batch window's queued operations: long enough
+// to cover a whole object copy or flush chunk (the hinted windows), short
+// enough that the scheduler heap never goes stale for a macroscopic
+// stretch of virtual time.
+const defaultBatchWindow = 64
+
+// SetBatchWindow adjusts the batch-window cap between phases (see
+// Config.BatchWindow): 0 restores the default, 1 disables batching, a
+// negative value removes the cap. Results are identical at any setting.
+func (m *Machine) SetBatchWindow(n int) {
+	switch {
+	case n == 0:
+		m.batchWindow = defaultBatchWindow
+	case n < 0:
+		m.batchWindow = -1
+	default:
+		m.batchWindow = n
+	}
+}
+
+// BatchWindow returns the normalized batch-window cap.
+func (m *Machine) BatchWindow() int { return m.batchWindow }
+
+// crashArmed reports whether an injected power-failure trigger is armed.
+// Batch windows refuse to activate while one is: crash triggers fire at
+// pre-settlement issue points (noteOp, the persistence domain's store
+// hook), so those runs keep strict per-op settlement.
+func (m *Machine) crashArmed() bool {
+	return m.faultTime > 0 || (m.fault != nil && m.fault.CrashAtStore > 0)
+}
+
 // Mark records a labeled point at the current virtual time.
 func (m *Machine) Mark(label string) {
 	m.marks = append(m.marks, PhaseMark{T: m.now, Label: label})
@@ -198,7 +240,7 @@ func (m *Machine) Device(k Kind) *Device {
 func (m *Machine) Run(n int, body func(*Worker)) Time {
 	start := m.now
 	if n <= 1 {
-		w := &Worker{id: 0, now: start, m: m, horizonKey: math.MaxInt64}
+		w := &Worker{id: 0, now: start, m: m, horizonKey: math.MaxInt64, ownerTag: 1}
 		runBody(w, body)
 		w.finished = true
 		if w.now > m.now {
@@ -218,7 +260,7 @@ func (m *Machine) Run(n int, body func(*Worker)) Time {
 	s := &scheduler{done: make(chan *Worker, n), q: make(workerQueue, 0, n)}
 	s.all = make([]*Worker, 0, n)
 	for i := 0; i < n; i++ {
-		w := &Worker{id: i, now: start, m: m, sched: s, resume: make(chan struct{})}
+		w := &Worker{id: i, now: start, m: m, sched: s, resume: make(chan struct{}), ownerTag: uint8(i + 1)}
 		go func(w *Worker) {
 			<-w.resume
 			w.setHorizon()

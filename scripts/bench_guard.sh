@@ -1,0 +1,40 @@
+#!/bin/sh
+# CI perf guard: fails when BenchmarkYoungGC regresses more than the
+# allowed margin against the recorded floor in results/BENCH_sim.json
+# (the after_ns_per_op the last re-baseline measured on this host class).
+#
+# The guard takes the minimum of several short runs — single iterations
+# on a loaded CI container jitter by 10-20%, the min is the stable
+# estimator (same policy as scripts/bench_sim.sh) — and allows 25%
+# headroom on top of the floor before failing, so only a real regression
+# trips it, not scheduler noise.
+# Usage: scripts/bench_guard.sh [margin_percent]
+set -eu
+cd "$(dirname "$0")/.."
+MARGIN="${1:-25}"
+FLOOR_FILE=results/BENCH_sim.json
+
+FLOOR=$(sed -n 's/.*"BenchmarkYoungGC".*"after_ns_per_op": \([0-9]*\).*/\1/p' "$FLOOR_FILE" | head -1)
+if [ -z "$FLOOR" ]; then
+	echo "bench_guard: cannot find BenchmarkYoungGC after_ns_per_op in $FLOOR_FILE" >&2
+	exit 1
+fi
+
+RAW=$(go test -run '^$' -bench 'BenchmarkYoungGC' -benchtime 3x -count 2 . | tee /dev/stderr)
+
+echo "$RAW" | awk -v floor="$FLOOR" -v margin="$MARGIN" '
+/^BenchmarkYoungGC/ { if (best == 0 || $3 < best) best = $3 }
+END {
+	if (best == 0) {
+		print "bench_guard: BenchmarkYoungGC produced no measurement" > "/dev/stderr"
+		exit 1
+	}
+	limit = floor * (1 + margin / 100)
+	printf "bench_guard: BenchmarkYoungGC best %.0f ns/op, floor %.0f ns/op, limit %.0f ns/op (+%d%%)\n", \
+		best, floor, limit, margin
+	if (best > limit) {
+		printf "bench_guard: FAIL — regression beyond %d%% of the recorded floor\n", margin > "/dev/stderr"
+		exit 1
+	}
+	print "bench_guard: OK"
+}'
