@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-sim bench-smoke profile suite-quick crash-smoke topology-smoke selfcheck-smoke fault-smoke fuzz-smoke cover
+.PHONY: build test verify bench bench-sim bench-smoke profile suite-quick crash-smoke topology-smoke selfcheck-smoke fault-smoke workload-smoke fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,12 @@ selfcheck-smoke: build
 # accounting under a churning mutator (full sweep: gcsim -fault-sweep).
 fault-smoke: build
 	$(GO) run ./cmd/gcsim -fault-sweep -quick -threads 4
+
+# workload-smoke runs the scenario-engine sweep in quick mode: collector
+# configurations across the YCSB core mixes driving keyed populations
+# (archived by scripts/bench_sim.sh as results/BENCH_workloads.json).
+workload-smoke: build
+	$(GO) run ./cmd/nvmbench -run workload-sweep -quick
 
 # fuzz-smoke replays the checked-in crash-recovery corpus and fuzzes for
 # 30s on top (regression net for the crash points earlier PRs fixed).

@@ -325,7 +325,7 @@ func BenchmarkMutatorThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		r, err := workload.NewRunner(col, workload.ByName("movie-lens"),
+		r, err := workload.NewRunner(col, workload.MustByName("movie-lens"),
 			workload.Config{GCThreads: 8, Scale: 0.2})
 		if err != nil {
 			b.Fatal(err)

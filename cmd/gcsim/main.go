@@ -59,6 +59,12 @@ func main() {
 	var (
 		app         = flag.String("app", "page-rank", "application profile name, or a comma-separated list (see -apps)")
 		apps        = flag.Bool("apps", false, "list application profiles and exit")
+		workloadF   = flag.String("workload", "", "workload scenario name(s) from the registry, comma-separated (see -list-workloads); supersedes -app")
+		listWk      = flag.Bool("list-workloads", false, "list registered workload scenarios and exit")
+		ycsbRecords = flag.Int64("ycsb-records", 0, "override a keyed scenario's initial record count")
+		ycsbOps     = flag.Int64("ycsb-ops", 0, "override a keyed scenario's operation budget (at -scale 1)")
+		ycsbDist    = flag.String("ycsb-dist", "", "override a keyed scenario's request distribution: "+strings.Join(workload.RequestDists(), ", "))
+		ycsbTheta   = flag.Float64("ycsb-theta", 0, "override a keyed scenario's zipfian skew, in (0, 1)")
 		collector   = flag.String("collector", "g1", "collector: g1 or ps")
 		config      = flag.String("config", "vanilla", "options: vanilla, writecache, all, async")
 		device      = flag.String("device", "nvm", "heap device: nvm or dram")
@@ -101,6 +107,13 @@ func main() {
 	if *apps {
 		for _, p := range workload.Profiles() {
 			fmt.Printf("%-18s %-11s survival %.2f  eden-fills %.1f\n", p.Name, p.Suite, p.Survival, p.EdenFills)
+		}
+		return
+	}
+
+	if *listWk {
+		for _, s := range workload.Scenarios() {
+			fmt.Printf("%-18s %-10s %s\n", s.Name, s.Family, s.Desc)
 		}
 		return
 	}
@@ -172,21 +185,50 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	var profs []workload.Profile
+	var specs []workload.Spec
 	if *profileFile != "" {
 		prof, err := workload.LoadProfileFile(*profileFile)
 		if err != nil {
 			fatal(err)
 		}
-		profs = append(profs, prof)
+		specs = append(specs, workload.Spec{Name: prof.Name, Family: "custom", Profile: &prof})
 	} else {
-		for _, name := range strings.Split(*app, ",") {
-			name = strings.TrimSpace(name)
-			prof := workload.ByName(name)
-			if prof.Name == "" {
-				fatal(fmt.Errorf("unknown app %q (try -apps)", name))
+		names := *app
+		if *workloadF != "" {
+			names = *workloadF
+		}
+		for _, name := range strings.Split(names, ",") {
+			spec, err := workload.ScenarioByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(fmt.Errorf("%w (try -apps or -list-workloads)", err))
 			}
-			profs = append(profs, prof)
+			specs = append(specs, spec)
+		}
+	}
+	if *ycsbRecords != 0 || *ycsbOps != 0 || *ycsbDist != "" || *ycsbTheta != 0 {
+		// Validate the overrides up-front, against every selected scenario,
+		// before any simulation starts.
+		for i := range specs {
+			if specs[i].Core == nil {
+				fatal(fmt.Errorf("-ycsb-* flags need a keyed scenario; %q is profile-backed (see -list-workloads)", specs[i].Name))
+			}
+			core := *specs[i].Core
+			if *ycsbRecords != 0 {
+				core.Records = *ycsbRecords
+			}
+			if *ycsbOps != 0 {
+				core.Ops = *ycsbOps
+			}
+			if *ycsbDist != "" {
+				core.Request = *ycsbDist
+			}
+			if *ycsbTheta != 0 {
+				core.Theta = *ycsbTheta
+			}
+			if err := core.Validate(); err != nil {
+				fatal(err)
+			}
+			specs[i].Core = &core
 		}
 	}
 	opt, err := parseConfig(*config)
@@ -208,7 +250,7 @@ func main() {
 	if err := validatePlacement(place, tiers); err != nil {
 		fatal(err)
 	}
-	if len(profs) > 1 && *jsonOut != "" && *jsonOut != "-" {
+	if len(specs) > 1 && *jsonOut != "" && *jsonOut != "-" {
 		fatal(fmt.Errorf("-json to a file needs a single -app"))
 	}
 
@@ -223,9 +265,9 @@ func main() {
 
 	// Each app gets its own Machine and is deterministic given the seed,
 	// so the runs fan out over the host pool and print in list order.
-	outs, err := par.Map(len(profs), *parallel, func(i int) (*bytes.Buffer, error) {
+	outs, err := par.Map(len(specs), *parallel, func(i int) (*bytes.Buffer, error) {
 		var b bytes.Buffer
-		err := runApp(&b, profs[i], o)
+		err := runApp(&b, specs[i], o)
 		return &b, err
 	})
 	if err != nil {
@@ -333,8 +375,8 @@ func validatePlacement(place heap.PlacementPolicy, tiers []memsim.TierSpec) erro
 	return nil
 }
 
-// runApp executes one application profile and writes its whole report to w.
-func runApp(w io.Writer, prof workload.Profile, o options) error {
+// runApp executes one workload scenario and writes its whole report to w.
+func runApp(w io.Writer, spec workload.Spec, o options) error {
 	mc := memsim.DefaultConfig()
 	if !o.trace {
 		mc.TraceBucket = 0
@@ -380,7 +422,7 @@ func runApp(w io.Writer, prof workload.Profile, o options) error {
 		return err
 	}
 
-	r, err := workload.NewRunner(col, prof, workload.Config{
+	r, err := spec.NewRunner(col, workload.Config{
 		GCThreads: o.threads, Scale: o.scale, Seed: o.seed,
 		MixedGCEvery: o.mixedEvery, FullGCEvery: o.fullEvery,
 	})
@@ -393,7 +435,7 @@ func runApp(w io.Writer, prof workload.Profile, o options) error {
 	}
 
 	fmt.Fprintf(w, "%s on %s, %s %s, %d GC threads (virtual time)\n",
-		prof.Name, o.kind, col.Name(), o.opt.Label(), o.threads)
+		spec.Name, o.kind, col.Name(), o.opt.Label(), o.threads)
 	if len(o.tiers) > 0 {
 		fmt.Fprintf(w, "topology: %s\n", m.Topology())
 	}
@@ -452,6 +494,9 @@ func runApp(w io.Writer, prof workload.Profile, o options) error {
 		}
 	}
 	fmt.Fprintf(w, "allocated: %.1f MiB\n", float64(res.Allocated)/(1<<20))
+	if res.Ops > 0 {
+		fmt.Fprintf(w, "ops: %d\n", res.Ops)
+	}
 
 	if o.faultWear > 0 || o.faultPPM > 0 {
 		f := tot.Faults

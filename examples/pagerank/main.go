@@ -40,7 +40,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := workload.NewRunner(col, workload.ByName("page-rank"),
+		r, err := workload.NewRunner(col, workload.MustByName("page-rank"),
 			workload.Config{GCThreads: 16, Scale: 0.5})
 		if err != nil {
 			log.Fatal(err)

@@ -49,7 +49,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			r, err := workload.NewRunner(col, workload.ByName(*app),
+			r, err := workload.NewRunner(col, workload.MustByName(*app),
 				workload.Config{GCThreads: th, Scale: *scale})
 			if err != nil {
 				log.Fatal(err)

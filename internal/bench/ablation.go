@@ -36,7 +36,7 @@ func AblTraversal(p Params) (*Report, error) {
 			opt := gc.Optimized()
 			opt.BFS = bfs
 			specs = append(specs, runSpec{
-				app: workload.ByName(name), heapKind: memsim.NVM, opt: opt,
+				app: workload.MustByName(name), heapKind: memsim.NVM, opt: opt,
 				threads: threads, scale: p.scale(), seed: p.seed() + uint64(i),
 			})
 		}
@@ -82,7 +82,7 @@ func AblNonTemporal(p Params) (*Report, error) {
 	for i, name := range apps {
 		for _, nt := range []bool{false, true} {
 			specs = append(specs, runSpec{
-				app: workload.ByName(name), heapKind: memsim.NVM,
+				app: workload.MustByName(name), heapKind: memsim.NVM,
 				opt:     gc.Options{WriteCache: true, NonTemporal: nt},
 				threads: threads, scale: p.scale(), seed: p.seed() + uint64(i),
 			})
@@ -120,7 +120,7 @@ func AblNonTemporal(p Params) (*Report, error) {
 // paper's choice.
 func AblFlushChunk(p Params) (*Report, error) {
 	threads := p.threads(16)
-	app := workload.ByName("page-rank")
+	app := workload.MustByName("page-rank")
 	t := &metrics.Table{
 		Title:   "Asynchronous flush chunk size (page-rank, +all+async, NVM)",
 		Columns: []string{"chunk", "gc (s)", "async flushes"},
@@ -160,7 +160,7 @@ func AblFlushChunk(p Params) (*Report, error) {
 // latency is pure overhead; at saturation the removed NVM writes free
 // read bandwidth.
 func AblHeaderMapThreshold(p Params) (*Report, error) {
-	app := workload.ByName("page-rank")
+	app := workload.MustByName("page-rank")
 	t := &metrics.Table{
 		Title:   "Header map on/off vs GC threads (page-rank, write cache enabled, NVM)",
 		Columns: []string{"threads", "map off (s)", "map on (s)", "map benefit"},

@@ -162,6 +162,7 @@ func All() []Experiment {
 		{"crash-sweep", "Power-failure campaign: recovery outcome x phase x config", CrashSweep},
 		{"tier-sweep", "Young generation and write cache across memory tiers", TierSweep},
 		{"fault-sweep", "Faulty-NVM campaign: survival and self-healing vs wear rate", FaultSweep},
+		{"workload-sweep", "Collector configurations across YCSB scenario mixes", WorkloadSweep},
 	}
 }
 
@@ -296,7 +297,7 @@ func appList(p Params, quickSet []string) []workload.Profile {
 	if p.Quick {
 		out := make([]workload.Profile, 0, len(quickSet))
 		for _, n := range quickSet {
-			out = append(out, workload.ByName(n))
+			out = append(out, workload.MustByName(n))
 		}
 		return out
 	}

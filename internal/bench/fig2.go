@@ -56,7 +56,7 @@ func traceTable(title string, m *memsim.Machine, dev *memsim.Device, from, to me
 // machine and run window [start, end) of the mutation phase.
 func bandwidthTraceFor(app string, kind memsim.Kind, opt gc.Options, threads int, p Params) (*memsim.Machine, memsim.Time, memsim.Time, error) {
 	res, m, err := runOne(runSpec{
-		app: workload.ByName(app), heapKind: kind, opt: opt,
+		app: workload.MustByName(app), heapKind: kind, opt: opt,
 		threads: threads, scale: p.scale(), seed: p.seed(), trace: true,
 		eager: p.EagerYield,
 	})
@@ -140,7 +140,7 @@ func bandwidthFigure(id, app string, scalability bool, p Params) (*Report, error
 		for _, kind := range scaleKinds {
 			for _, th := range threadSet {
 				specs = append(specs, runSpec{
-					app: workload.ByName(app), heapKind: kind, opt: gc.Vanilla(),
+					app: workload.MustByName(app), heapKind: kind, opt: gc.Vanilla(),
 					threads: th, scale: p.scale(), seed: p.seed(),
 				})
 			}

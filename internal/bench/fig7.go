@@ -43,7 +43,7 @@ func Fig7(p Params) (*Report, error) {
 	for i, app := range apps {
 		for _, cfg := range configs {
 			specs = append(specs, runSpec{
-				app: workload.ByName(app), heapKind: memsim.NVM, opt: cfg.opt,
+				app: workload.MustByName(app), heapKind: memsim.NVM, opt: cfg.opt,
 				threads: threads, scale: p.scale(), seed: p.seed() + uint64(i), trace: true,
 			})
 			labels = append(labels, cfg.label)

@@ -65,6 +65,48 @@ func TestGoldenHarnessDeterminism(t *testing.T) {
 	}
 }
 
+// TestGoldenWorkloadSweepDeterminism pins the scenario-engine sweep the
+// same way: the rendered collector-config × YCSB grid must be
+// byte-identical at any pool width and under the eager-yield reference
+// scheduler (the keyed op streams are pure functions of the seed, and
+// every grid point owns its Machine).
+func TestGoldenWorkloadSweepDeterminism(t *testing.T) {
+	scale := 0.1
+	if testing.Short() {
+		scale = 0.05
+	}
+	params := func(parallel int, eager bool) Params {
+		return Params{Scale: scale, Quick: true, Seed: 1, Parallel: parallel, EagerYield: eager}
+	}
+	ref, err := WorkloadSweep(params(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Render()
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"parallel-8", params(8, false)},
+		{"eager-parallel-8", params(8, true)},
+	}
+	if !testing.Short() {
+		cases = append(cases, struct {
+			name string
+			p    Params
+		}{"parallel-0-numcpu", params(0, false)})
+	}
+	for _, tc := range cases {
+		rep, err := WorkloadSweep(tc.p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := rep.Render(); got != want {
+			t.Errorf("%s: rendered output diverged from serial reference\nserial:\n%s\ngot:\n%s", tc.name, want, got)
+		}
+	}
+}
+
 // TestGoldenCollectionStats drills below the rendered table: the full
 // CollectionStats sequence and LLC counters of a run must be identical
 // between the horizon scheduler and the eager reference at several GC

@@ -50,7 +50,7 @@ func TestTierSweepPointSchedulerEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		res, err := runWith(col, runSpec{
-			app: workload.ByName("page-rank"), threads: 16, scale: 0.5, seed: 1,
+			app: workload.MustByName("page-rank"), threads: 16, scale: 0.5, seed: 1,
 		})
 		if err != nil {
 			t.Fatal(err)

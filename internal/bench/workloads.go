@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+
+	"nvmgc/internal/gc"
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+	"nvmgc/internal/metrics"
+	"nvmgc/internal/par"
+	"nvmgc/internal/workload"
+)
+
+// workloadSweepScenarios returns the scenario grid: every registered
+// YCSB core mix (A–F plus the hotspot-skew variants), in registry
+// order. Quick mode keeps the full scenario axis — the archived sweep
+// must cover all the mixes — and trims the collector-config axis
+// instead.
+func workloadSweepScenarios() []workload.Spec {
+	var out []workload.Spec
+	for _, s := range workload.Scenarios() {
+		if s.Family == "ycsb" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// workloadSweepHeap is the keyed-population host: a 16 MiB heap with a
+// 3 MiB eden (the workload test geometry), small enough that the
+// update-heavy mixes cycle eden several times per point while the whole
+// grid stays smoke-test fast.
+func workloadSweepHeap(m *memsim.Machine) (*heap.Heap, error) {
+	hc := heap.DefaultConfig()
+	hc.RegionBytes = 32 << 10
+	hc.HeapRegions = 512
+	hc.CacheRegions = 64
+	hc.EdenRegions = 96
+	hc.SurvivorRegions = 48
+	hc.HeapKind = memsim.NVM
+	return heap.New(m, hc)
+}
+
+// WorkloadSweep runs the collector-config × YCSB-scenario grid: each
+// point drives a keyed object population (zipfian, hotspot, or
+// latest-skewed requests over versioned rows) through one collector
+// configuration on the NVM heap. This is the scenario-diversity
+// complement to fig5's fixed application table: the request
+// distribution, not the demographics table, decides where garbage and
+// remembered-set work concentrate.
+func WorkloadSweep(p Params) (*Report, error) {
+	threads := p.threads(16)
+	scenarios := workloadSweepScenarios()
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("bench: no ycsb scenarios registered")
+	}
+	type cfg struct {
+		label string
+		opt   gc.Options
+	}
+	cfgs := []cfg{
+		{"vanilla", gc.Vanilla()},
+		{"all", gc.Optimized()},
+	}
+	if !p.Quick {
+		cfgs = append(cfgs[:1:1], cfg{"writecache", gc.WithWriteCache()}, cfgs[1])
+	}
+
+	type point struct {
+		spec workload.Spec
+		cfg  cfg
+	}
+	var points []point
+	for _, s := range scenarios {
+		for _, c := range cfgs {
+			points = append(points, point{spec: s, cfg: c})
+		}
+	}
+
+	outs, err := par.Map(len(points), p.Parallel, func(i int) (workload.Result, error) {
+		pt := points[i]
+		mc := machineConfig(false)
+		mc.EagerYield = p.EagerYield
+		mc.Tiers = p.tierSpecs()
+		m := memsim.NewMachine(mc)
+		h, err := workloadSweepHeap(m)
+		if err != nil {
+			return workload.Result{}, err
+		}
+		col, err := gc.NewG1(h, pt.cfg.opt)
+		if err != nil {
+			return workload.Result{}, err
+		}
+		r, err := pt.spec.NewRunner(col, workload.Config{
+			GCThreads: threads, Scale: p.scale(), Seed: p.seed(),
+		})
+		if err != nil {
+			return workload.Result{}, err
+		}
+		return r.Run()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := &metrics.Table{
+		Title:   fmt.Sprintf("collector config x YCSB scenario sweep (%d GC threads, keyed population)", threads),
+		Columns: []string{"scenario", "dist", "config", "ops", "total (s)", "app (s)", "gc (s)", "gcs", "alloc MB"},
+	}
+	var vanillaGC, optGC []float64
+	for i, pt := range points {
+		res := outs[i]
+		tbl.AddRow(pt.spec.Name, pt.spec.Core.Request, pt.cfg.label, fmt.Sprint(res.Ops),
+			seconds(res.Total), seconds(res.App), seconds(res.GC),
+			fmt.Sprint(len(res.Collections)), float64(res.Allocated)/1e6)
+		if len(res.Collections) > 0 {
+			switch pt.cfg.label {
+			case "vanilla":
+				vanillaGC = append(vanillaGC, seconds(res.GC))
+			case "all":
+				optGC = append(optGC, seconds(res.GC))
+			}
+		}
+	}
+
+	rep := &Report{
+		ID:     "workload-sweep",
+		Title:  "Collector configurations across YCSB scenario mixes",
+		Tables: []*metrics.Table{tbl},
+	}
+	if n := min(len(vanillaGC), len(optGC)); n > 0 {
+		var v, o float64
+		for i := 0; i < n; i++ {
+			v += vanillaGC[i]
+			o += optGC[i]
+		}
+		if o > 0 {
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"collecting mixes: %.2fx GC-time reduction from all optimizations (summed over %d scenarios)", v/o, n))
+		}
+	}
+	return rep, nil
+}

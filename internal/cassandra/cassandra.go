@@ -47,51 +47,46 @@ func PauseIntervals(m *memsim.Machine, from, to memsim.Time) []Interval {
 }
 
 // Phase describes one cassandra-stress phase (write-only or read-only).
+// The server's memory behaviour comes from a workload scenario resolved
+// from the shared registry — the same source gcsim and bench consume.
 type Phase struct {
-	Name    string
-	Profile workload.Profile
+	Name     string
+	Scenario workload.Spec
 	// Service is the mean request service time outside GC pauses.
 	Service memsim.Time
 	// Servers is the request-processing parallelism.
 	Servers int
 }
 
+// PhaseFor builds a phase around any registered scenario, so stress
+// curves can be derived for YCSB mixes as well as the two canned
+// cassandra phases.
+func PhaseFor(name, scenario string, service memsim.Time, servers int) (Phase, error) {
+	spec, err := workload.ScenarioByName(scenario)
+	if err != nil {
+		return Phase{}, err
+	}
+	return Phase{Name: name, Scenario: spec, Service: service, Servers: servers}, nil
+}
+
+func mustPhase(name, scenario string, service memsim.Time, servers int) Phase {
+	p, err := PhaseFor(name, scenario, service, servers)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // WritePhase returns the insert-only phase: allocation-heavy (memtable
 // churn), larger survival (batched flushes), moderate service time.
 func WritePhase() Phase {
-	return Phase{
-		Name: "write",
-		Profile: workload.Profile{
-			Name: "cassandra-write", Suite: "cassandra",
-			ObjWords: 6, RefsPerObj: 2, ChainLen: 12,
-			PrimArrayFrac: 0.35, PrimArrayWords: 256,
-			Survival: 0.35, ChurnDrop: 0.70, HolderFrac: 0.5,
-			LongLivedFrac: 0.20, HolderArrays: 16, HolderSlots: 256,
-			CPUNsPerKB: 600, RandReadsPerKB: 4, SeqKBPerKB: 0.2,
-			EdenFills: 6,
-		},
-		Service: 60 * memsim.Microsecond,
-		Servers: 16,
-	}
+	return mustPhase("write", "cassandra-write", 60*memsim.Microsecond, 16)
 }
 
 // ReadPhase returns the read-only phase: lighter allocation (row cache
 // hits and response buffers), shorter-lived garbage.
 func ReadPhase() Phase {
-	return Phase{
-		Name: "read",
-		Profile: workload.Profile{
-			Name: "cassandra-read", Suite: "cassandra",
-			ObjWords: 6, RefsPerObj: 2, ChainLen: 8,
-			PrimArrayFrac: 0.30, PrimArrayWords: 128,
-			Survival: 0.22, ChurnDrop: 0.85, HolderFrac: 0.3,
-			LongLivedFrac: 0.20, HolderArrays: 16, HolderSlots: 256,
-			CPUNsPerKB: 550, RandReadsPerKB: 6, SeqKBPerKB: 0.3,
-			EdenFills: 5,
-		},
-		Service: 45 * memsim.Microsecond,
-		Servers: 16,
-	}
+	return mustPhase("read", "cassandra-read", 45*memsim.Microsecond, 16)
 }
 
 // StressResult is one point of the throughput-latency curve.
@@ -106,7 +101,7 @@ type StressResult struct {
 // returns the pause timeline and run window needed for latency simulation.
 func RunPhase(col gc.Collector, phase Phase, cfg workload.Config) ([]Interval, memsim.Time, error) {
 	m := col.Heap().Machine()
-	r, err := workload.NewRunner(col, phase.Profile, cfg)
+	r, err := phase.Scenario.NewRunner(col, cfg)
 	if err != nil {
 		return nil, 0, err
 	}

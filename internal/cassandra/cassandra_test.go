@@ -183,9 +183,104 @@ func TestOptimizedGCImprovesTail(t *testing.T) {
 
 func TestPhaseProfilesValid(t *testing.T) {
 	for _, ph := range []Phase{WritePhase(), ReadPhase()} {
-		if ph.Service <= 0 || ph.Servers < 1 || ph.Profile.Name == "" {
+		if ph.Service <= 0 || ph.Servers < 1 || ph.Scenario.Name == "" || ph.Scenario.Profile == nil {
 			t.Fatalf("phase %q malformed", ph.Name)
 		}
+	}
+}
+
+func TestLatenciesDeterministicAtFixedSeed(t *testing.T) {
+	pauses := []Interval{{Start: 100 * memsim.Millisecond, End: 130 * memsim.Millisecond}}
+	a := Latencies(pauses, memsim.Second, 40_000, 50*memsim.Microsecond, 16, 42)
+	b := Latencies(pauses, memsim.Second, 40_000, 50*memsim.Microsecond, 16, 42)
+	if len(a) != len(b) {
+		t.Fatalf("request counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("latency %d diverged: %g vs %g", i, a[i], b[i])
+		}
+	}
+	c := Latencies(pauses, memsim.Second, 40_000, 50*memsim.Microsecond, 16, 43)
+	same := len(a) == len(c)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == c[i]
+	}
+	if same {
+		t.Fatal("different seeds produced identical request streams")
+	}
+}
+
+func TestRunPhaseDeterministicAtFixedSeed(t *testing.T) {
+	run := func() ([]Interval, memsim.Time) {
+		col := newServer(t, gc.Optimized())
+		pauses, window, err := RunPhase(col, WritePhase(), workload.Config{GCThreads: 8, Scale: 0.3, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pauses, window
+	}
+	pA, wA := run()
+	pB, wB := run()
+	if wA != wB || len(pA) != len(pB) {
+		t.Fatalf("runs diverged: window %d/%d, %d/%d pauses", wA, wB, len(pA), len(pB))
+	}
+	for i := range pA {
+		if pA[i] != pB[i] {
+			t.Fatalf("pause %d diverged: %+v vs %+v", i, pA[i], pB[i])
+		}
+	}
+}
+
+func TestStressPercentilesMonotonic(t *testing.T) {
+	col := newServer(t, gc.Vanilla())
+	pauses, window, err := RunPhase(col, WritePhase(), workload.Config{GCThreads: 8, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Stress(pauses, window, WritePhase(), []float64{20, 60, 100}, 9)
+	if err := Validate(rs); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.MeanMs > r.P95ms || r.P95ms > r.P99ms {
+			t.Fatalf("percentiles out of order at %0.0f kqps: mean %.3f p95 %.3f p99 %.3f",
+				r.ThroughputKQPS, r.MeanMs, r.P95ms, r.P99ms)
+		}
+		if r.Requests == 0 {
+			t.Fatalf("no requests at %0.0f kqps", r.ThroughputKQPS)
+		}
+	}
+	if bad := []StressResult{{P95ms: 2, P99ms: 1}}; Validate(bad) == nil {
+		t.Fatal("inverted percentiles not rejected")
+	}
+}
+
+// TestPhaseForScenarioDriven drives a YCSB core mix — not a canned
+// cassandra profile — through the full phase path: the registry is the
+// single scenario source for every consumer.
+func TestPhaseForScenarioDriven(t *testing.T) {
+	ph, err := PhaseFor("ycsb", "ycsb-a", 50*memsim.Microsecond, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Scenario.Core == nil {
+		t.Fatalf("ycsb phase should be core-backed: %+v", ph.Scenario)
+	}
+	col := newServer(t, gc.Vanilla())
+	pauses, window, err := RunPhase(col, ph, workload.Config{GCThreads: 8, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if window <= 0 || len(pauses) == 0 {
+		t.Fatalf("update-heavy mix should pause: window %d, %d pauses", window, len(pauses))
+	}
+	rs := Stress(pauses, window, ph, []float64{40}, 13)
+	if err := Validate(rs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PhaseFor("bad", "ycsb-z", 50*memsim.Microsecond, 8); err == nil {
+		t.Fatal("unknown scenario accepted")
 	}
 }
 

@@ -267,14 +267,15 @@ func diffResults(got, ref *Result) error {
 // the shrunk trace that still reproduces it.
 type Failure struct {
 	Seed   uint64
+	Dist   string // object-id selection distribution of the trace
 	Config string
 	Err    string
 	Trace  []Op
 }
 
 func (f *Failure) String() string {
-	return fmt.Sprintf("seed %d, config %s:\n  %s\nminimal trace (%d ops):\n%s",
-		f.Seed, f.Config, f.Err, len(f.Trace), FormatTrace(f.Trace))
+	return fmt.Sprintf("seed %d (%s ids), config %s:\n  %s\nminimal trace (%d ops):\n%s",
+		f.Seed, f.Dist, f.Config, f.Err, len(f.Trace), FormatTrace(f.Trace))
 }
 
 // shrinkBudget bounds the replays one shrink is allowed to spend.
@@ -343,13 +344,18 @@ func failsWith(c Config, ref Config) func([]Op) bool {
 	}
 }
 
-// RunSeed generates one trace and replays it through the reference and
-// every real configuration, returning the first failure (shrunk) or nil.
-func RunSeed(seed uint64, nops int) *Failure {
-	ops := Generate(seed, nops)
+// RunSeed generates one uniform-selection trace and replays it through
+// the reference and every real configuration, returning the first
+// failure (shrunk) or nil.
+func RunSeed(seed uint64, nops int) *Failure { return RunSeedDist(seed, nops, "uniform") }
+
+// RunSeedDist is RunSeed with the named object-id distribution (see
+// TraceDists).
+func RunSeedDist(seed uint64, nops int, dist string) *Failure {
+	ops := GenerateDist(seed, nops, dist)
 	fail := func(c Config, err error) *Failure {
 		shrunk := Shrink(ops, failsWith(c, refConfig(c.Topology)), shrinkBudget)
-		return &Failure{Seed: seed, Config: c.Name, Err: err.Error(), Trace: shrunk}
+		return &Failure{Seed: seed, Dist: dist, Config: c.Name, Err: err.Error(), Trace: shrunk}
 	}
 	refs := make(map[string]*Result, 2)
 	for _, topo := range []string{"2tier", "3tier"} {
@@ -394,8 +400,8 @@ func (r *Report) String() string {
 	var b strings.Builder
 	names := make([]string, 0, len(r.Configs))
 	names = append(names, r.Configs...)
-	fmt.Fprintf(&b, "selfcheck: %d runs x %d ops (base seed %d) through %s\n",
-		r.Runs, r.Ops, r.BaseSeed, strings.Join(names, ", "))
+	fmt.Fprintf(&b, "selfcheck: %d runs x %d ops (base seed %d, id dists %s) through %s\n",
+		r.Runs, r.Ops, r.BaseSeed, strings.Join(TraceDists(), "/"), strings.Join(names, ", "))
 	if r.Passed() {
 		fmt.Fprintf(&b, "selfcheck: PASS — all live graphs matched the reference collector\n")
 		return b.String()
@@ -412,8 +418,11 @@ func (r *Report) String() string {
 // cores). Seeds are derived from baseSeed so the whole campaign is
 // reproducible from one number.
 func Campaign(runs, nops int, baseSeed uint64, parallel int) (*Report, error) {
+	dists := TraceDists()
 	fails, err := par.Map(runs, parallel, func(i int) (*Failure, error) {
-		return RunSeed(baseSeed+uint64(i)*1000003, nops), nil
+		// Rotate the id-selection distribution deterministically across
+		// runs: run order never changes which run gets which skew.
+		return RunSeedDist(baseSeed+uint64(i)*1000003, nops, dists[i%len(dists)]), nil
 	})
 	if err != nil {
 		return nil, err

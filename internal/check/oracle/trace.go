@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"strings"
+
+	"nvmgc/internal/workload/generator"
 )
 
 // OpKind enumerates workload-trace operations. Every operand is a logical
@@ -78,16 +80,50 @@ func FormatTrace(ops []Op) string {
 	return b.String()
 }
 
-// Generate builds a seeded random workload trace of n ops. The generator
-// tracks a rough model (allocation count, live root count) only to keep
-// traces interesting — the replayer makes every op well-defined
-// regardless, so shrunk sub-traces remain valid.
-func Generate(seed uint64, n int) []Op {
+// TraceDists lists the object-id selection distributions GenerateDist
+// accepts; the differential campaign rotates through them so skewed
+// populations (hot objects linked and unlinked far more often than the
+// tail) go through the same scrutiny as uniform ones.
+func TraceDists() []string { return []string{"uniform", "zipfian", "hotspot"} }
+
+// Generate builds a seeded random workload trace of n ops with uniform
+// object-id selection.
+func Generate(seed uint64, n int) []Op { return GenerateDist(seed, n, "uniform") }
+
+// GenerateDist builds a seeded random workload trace of n ops. The
+// generator tracks a rough model (allocation count, live root count)
+// only to keep traces interesting — the replayer makes every op
+// well-defined regardless, so shrunk sub-traces remain valid. dist
+// selects how operand object ids are drawn (see TraceDists): zipfian
+// concentrates link/unlink churn on the *newest* objects, hotspot on a
+// fixed 20% id band — both reuse the scenario engine's generators, so a
+// skew bug would surface here and in the workload layer alike. Unknown
+// dists fall back to uniform (the campaign validates its rotation).
+func GenerateDist(seed uint64, n int, dist string) []Op {
 	rng := rand.New(rand.NewPCG(seed, 0x6f7261636c65)) // "oracle"
+	var zipf *generator.Zipfian
+	var hot *generator.Hotspot
+	switch dist {
+	case "zipfian":
+		zipf, _ = generator.NewZipfian(generator.NewRand(seed, 0x6f72), 0, 0, generator.ZipfianConstant)
+	case "hotspot":
+		hot, _ = generator.NewHotspot(generator.NewRand(seed, 0x6f72), 0, 0, 0.2, 0.8)
+	}
 	ops := make([]Op, 0, n)
 	next := 0  // allocated object count
 	roots := 0 // rough live-root count
-	anyID := func() int { return rng.IntN(next) }
+	anyID := func() int {
+		switch {
+		case zipf != nil:
+			zipf.ForItems(int64(next))
+			return next - 1 - int(zipf.Next()) // rank 0 = the newest object
+		case hot != nil:
+			hot.SetRange(0, int64(next)-1)
+			return int(hot.Next())
+		default:
+			return rng.IntN(next)
+		}
+	}
 	for len(ops) < n {
 		x := rng.IntN(100)
 		switch {

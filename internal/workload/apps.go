@@ -1,5 +1,7 @@
 package workload
 
+import "fmt"
+
 // The 26-application suite of the paper's evaluation (Section 5.1):
 // 22 Renaissance benchmarks (0.10, minus the three excluded in the paper)
 // plus four Spark jobs (page-rank, kmeans, connected-components,
@@ -160,15 +162,47 @@ func Profiles() []Profile {
 	return out
 }
 
-// ByName returns the profile with the given name, or an invalid Profile
-// (Name == "") when unknown.
-func ByName(name string) Profile {
+// ByName returns the profile with the given name. Unknown names are an
+// error — a zero Profile would fail validation much later (or, worse,
+// run with all-zero demographics), so lookups fail loudly instead.
+func ByName(name string) (Profile, error) {
 	for _, p := range profiles {
 		if p.Name == name {
-			return p
+			return p, nil
 		}
 	}
-	return Profile{}
+	return Profile{}, fmt.Errorf("workload: unknown profile %q (%d profiles available)", name, len(profiles))
+}
+
+// MustByName is ByName for static tables (figure app lists, tests); it
+// panics on unknown names.
+func MustByName(name string) Profile {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// validateProfileNames rejects duplicate names in a profile table.
+func validateProfileNames(ps []Profile) error {
+	seen := make(map[string]bool, len(ps))
+	for _, p := range ps {
+		if seen[p.Name] {
+			return fmt.Errorf("workload: duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+func init() {
+	if err := validateProfileNames(profiles); err != nil {
+		panic(err)
+	}
+	if err := validateProfileNames(cassandraProfiles); err != nil {
+		panic(err)
+	}
 }
 
 // Fig1Apps returns the six applications of the paper's Figure 1.

@@ -1,0 +1,26 @@
+package workload
+
+// The cassandra-stress server phases of the paper's tail-latency
+// experiment (Section 5.4), registered as the "cassandra" scenario
+// family so internal/cassandra builds its phases from the same registry
+// every other consumer uses.
+var cassandraProfiles = []Profile{
+	// Insert-only phase: allocation-heavy (memtable churn), larger
+	// survival (batched flushes).
+	{Name: "cassandra-write", Suite: "cassandra",
+		ObjWords: 6, RefsPerObj: 2, ChainLen: 12,
+		PrimArrayFrac: 0.35, PrimArrayWords: 256,
+		Survival: 0.35, ChurnDrop: 0.70, HolderFrac: 0.5,
+		LongLivedFrac: 0.20, HolderArrays: 16, HolderSlots: 256,
+		CPUNsPerKB: 600, RandReadsPerKB: 4, SeqKBPerKB: 0.2,
+		EdenFills: 6},
+	// Read-only phase: lighter allocation (row-cache hits and response
+	// buffers), shorter-lived garbage.
+	{Name: "cassandra-read", Suite: "cassandra",
+		ObjWords: 6, RefsPerObj: 2, ChainLen: 8,
+		PrimArrayFrac: 0.30, PrimArrayWords: 128,
+		Survival: 0.22, ChurnDrop: 0.85, HolderFrac: 0.3,
+		LongLivedFrac: 0.20, HolderArrays: 16, HolderSlots: 256,
+		CPUNsPerKB: 550, RandReadsPerKB: 6, SeqKBPerKB: 0.3,
+		EdenFills: 5},
+}

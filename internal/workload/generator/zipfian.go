@@ -1,0 +1,213 @@
+package generator
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// ZipfianConstant is the default skew: the YCSB standard θ=0.99.
+const ZipfianConstant = 0.99
+
+// Zipfian draws from a zipfian distribution over [base, base+items):
+// rank 0 is the most popular value, with popularity ∝ 1/(rank+1)^θ.
+// The implementation is Gray et al.'s rejection-free construction
+// ("Quickly generating billion-record synthetic databases", SIGMOD'94),
+// including the incremental-item handling: growing the item count via
+// ForItems extends ζ(n,θ) by summing only the new terms instead of
+// recomputing the whole series, so a population that grows by one key
+// per insert costs O(1) amortized per op.
+type Zipfian struct {
+	rng   *rand.Rand
+	base  int64
+	items int64
+	theta float64
+
+	alpha, zeta2 float64
+	zetan, eta   float64
+	countForZeta int64 // the n that zetan currently covers
+
+	last int64
+}
+
+// NewZipfian returns a zipfian generator over [min, max] with skew theta
+// (use ZipfianConstant for the YCSB default). theta must be in (0, 1).
+func NewZipfian(rng *rand.Rand, min, max int64, theta float64) (*Zipfian, error) {
+	if max < min {
+		return nil, fmt.Errorf("generator: zipfian range [%d, %d] inverted", min, max)
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("generator: zipfian theta %g outside (0, 1)", theta)
+	}
+	z := &Zipfian{rng: rng, base: min, items: max - min + 1, theta: theta}
+	z.alpha = 1 / (1 - theta)
+	z.zeta2 = zeta(0, 2, theta, 0)
+	z.zetan = zeta(0, z.items, theta, 0)
+	z.countForZeta = z.items
+	z.eta = z.computeEta()
+	return z, nil
+}
+
+// zeta extends ζ(n,θ) from a partial sum: given sum = ζ(st,θ) it returns
+// ζ(n,θ) by adding the terms for ranks st..n-1 (st = 0 computes from
+// scratch).
+func zeta(st, n int64, theta, sum float64) float64 {
+	for i := st; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+	}
+	return sum
+}
+
+func (z *Zipfian) computeEta() float64 {
+	return (1 - math.Pow(2/float64(z.items), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+}
+
+// ForItems resizes the distribution to n items. Growth reuses the
+// running ζ sum (Gray's incremental handling); shrinking — rare, only a
+// capped live window — recomputes.
+func (z *Zipfian) ForItems(n int64) {
+	if n == z.items {
+		return
+	}
+	switch {
+	case n > z.countForZeta:
+		z.zetan = zeta(z.countForZeta, n, z.theta, z.zetan)
+		z.countForZeta = n
+	case n < z.countForZeta:
+		z.zetan = zeta(0, n, z.theta, 0)
+		z.countForZeta = n
+	}
+	z.items = n
+	z.eta = z.computeEta()
+}
+
+// Items returns the current item count.
+func (z *Zipfian) Items() int64 { return z.items }
+
+// Next draws the next rank (base+0 is the hottest).
+func (z *Zipfian) Next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var v int64
+	switch {
+	case uz < 1:
+		v = 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		v = 1
+	default:
+		v = int64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if v >= z.items { // guard the float boundary
+		v = z.items - 1
+	}
+	z.last = z.base + v
+	return z.last
+}
+
+// Last returns the most recent draw.
+func (z *Zipfian) Last() int64 { return z.last }
+
+// scrambledSpace is the fixed underlying item space a scrambled zipfian
+// hashes down from (YCSB uses the same trick): drawing ranks from one
+// large constant-size zipfian and folding them into the live domain
+// keeps the set of hot keys stable as the domain grows, and scatters
+// them across the keyspace instead of clustering at low keys.
+const scrambledSpace = int64(10_000_000_000)
+
+// zetanScrambledSpace is ζ(scrambledSpace, 0.99), precomputed — the
+// series converges far too slowly to sum at construction time.
+const zetanScrambledSpace = 26.46902820178302
+
+// ScrambledZipfian draws zipfian-popular values scattered uniformly over
+// [min, min+itemCount) by FNV-hashing the underlying rank.
+type ScrambledZipfian struct {
+	z         Zipfian
+	min       int64
+	itemCount int64
+	last      int64
+}
+
+// NewScrambledZipfian returns a scrambled zipfian over [min, max] at the
+// standard θ=0.99 skew.
+func NewScrambledZipfian(rng *rand.Rand, min, max int64) (*ScrambledZipfian, error) {
+	if max < min {
+		return nil, fmt.Errorf("generator: scrambled-zipfian range [%d, %d] inverted", min, max)
+	}
+	s := &ScrambledZipfian{min: min, itemCount: max - min + 1}
+	s.z = Zipfian{
+		rng: rng, base: 0, items: scrambledSpace, theta: ZipfianConstant,
+		alpha: 1 / (1 - ZipfianConstant),
+		zeta2: zeta(0, 2, ZipfianConstant, 0),
+		zetan: zetanScrambledSpace, countForZeta: scrambledSpace,
+	}
+	s.z.eta = s.z.computeEta()
+	return s, nil
+}
+
+// ForItems resizes the hash target domain to n values (the underlying
+// rank space is fixed, so this is O(1)).
+func (s *ScrambledZipfian) ForItems(n int64) {
+	s.itemCount = n
+}
+
+// Next draws the next scattered value.
+func (s *ScrambledZipfian) Next() int64 {
+	v := s.z.Next()
+	s.last = s.min + int64(FNVHash64(uint64(v))%uint64(s.itemCount))
+	return s.last
+}
+
+// Last returns the most recent draw.
+func (s *ScrambledZipfian) Last() int64 { return s.last }
+
+// FNVHash64 is the 64-bit FNV-1 hash YCSB scatters zipfian ranks with.
+func FNVHash64(v uint64) uint64 {
+	const (
+		offset = 0xCBF29CE484222325
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h *= prime
+		h ^= v & 0xff
+		v >>= 8
+	}
+	return h
+}
+
+// Latest skews draws toward the most recently inserted values of a
+// growing sequence: the newest value is the hottest, with zipfian
+// fall-off into the past. The counter is shared with the inserting
+// routines (an AcknowledgedCounter, so only completed inserts are ever
+// selected).
+type Latest struct {
+	z       Zipfian
+	counter Generator // usually *AcknowledgedCounter; Last() is the newest key
+	last    int64
+}
+
+// NewLatest returns a latest-skewed generator following counter.
+func NewLatest(rng *rand.Rand, counter Generator) (*Latest, error) {
+	if counter == nil {
+		return nil, fmt.Errorf("generator: latest needs a counter")
+	}
+	z, err := NewZipfian(rng, 0, 0, ZipfianConstant)
+	if err != nil {
+		return nil, err
+	}
+	return &Latest{z: *z, counter: counter}, nil
+}
+
+// Next draws a recent value: counter.Last() - zipfian rank.
+func (l *Latest) Next() int64 {
+	max := l.counter.Last()
+	if max < 0 { // nothing acknowledged yet
+		max = 0
+	}
+	l.z.ForItems(max + 1)
+	l.last = max - l.z.Next()
+	return l.last
+}
+
+// Last returns the most recent draw.
+func (l *Latest) Last() int64 { return l.last }

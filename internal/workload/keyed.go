@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"fmt"
+
+	"nvmgc/internal/gc"
+	"nvmgc/internal/heap"
+	"nvmgc/internal/memsim"
+	"nvmgc/internal/workload/generator"
+)
+
+// KeyedRunner executes a keyed Scenario over a heap/collector pair. The
+// key population is an old-space index of reference-array "tables": key
+// k lives in table slot k mod capacity, so the live window is the most
+// recent `capacity` keys and inserts past it evict the oldest key
+// (FIFO) — which makes insert-heavy mixes drift the hot set. Rows are
+// heap objects; updates allocate a fresh row version and repoint the
+// slot through the write barrier, so the previous version becomes
+// garbage and remembered sets fill exactly where the request
+// distribution concentrates. Reads charge the slot lookup plus a
+// streaming read over the row. The op stream itself is generated purely
+// from seeded generators — identical under every collector
+// configuration.
+type KeyedRunner struct {
+	h    *heap.Heap
+	m    *memsim.Machine
+	col  gc.Collector
+	name string
+	core *Core
+	cfg  Config
+
+	env      *Env
+	routines []Routine
+	nextR    int // round-robin cursor
+
+	rowK, tableK *heap.Klass
+
+	tables     []heap.Address
+	tableRoots []heap.Address
+	slotsPer   int64
+
+	pending    Op
+	hasPending bool
+
+	setupErr error
+}
+
+// NewKeyedRunner prepares a keyed scenario run; Run executes it.
+func NewKeyedRunner(col gc.Collector, name string, core *Core, cfg Config) (*KeyedRunner, error) {
+	if cfg.GCThreads <= 0 {
+		cfg.GCThreads = 8
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	h := col.Heap()
+	r := &KeyedRunner{h: h, m: h.Machine(), col: col, name: name, core: core, cfg: cfg}
+
+	r.env = &Env{Seed: cfg.Seed, Scale: cfg.Scale, HeapBytes: h.HeapBytes()}
+	if err := core.Init(r.env); err != nil {
+		return nil, fmt.Errorf("workload %s: %w", name, err)
+	}
+	r.env.Keys = generator.NewAcknowledgedCounter(0)
+
+	var err error
+	defineArr := func(kname string, elemRef bool) *heap.Klass {
+		if k := h.Klasses.ByName(kname); k != nil {
+			return k
+		}
+		var k *heap.Klass
+		k, err = h.Klasses.DefineArray(kname, elemRef)
+		return k
+	}
+	r.rowK = defineArr("kvrow[]", false)
+	r.tableK = defineArr("kvtable[]", true)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", name, err)
+	}
+
+	// One routine set up-front; NextOp draws round-robin across them so
+	// the stream interleaving is fixed by configuration, not scheduling.
+	r.routines = make([]Routine, r.env.Routines)
+	for i := range r.routines {
+		if r.routines[i], err = core.NewRoutine(r.env, i); err != nil {
+			return nil, fmt.Errorf("workload %s: %w", name, err)
+		}
+	}
+	return r, nil
+}
+
+// slotFor maps a key to its index slot.
+func (r *KeyedRunner) slotFor(key int64) (heap.Address, int64) {
+	idx := key % r.env.Capacity
+	return r.tables[idx/r.slotsPer], heap.HeaderWords + idx%r.slotsPer
+}
+
+// Run executes the scenario: old-space table + initial-population load
+// (excluded from timing, like the legacy setup phase), then the op
+// stream with collections on allocation pressure.
+func (r *KeyedRunner) Run() (Result, error) {
+	res := Result{Profile: r.name}
+	setupStart := r.m.Now()
+	r.m.Run(1, r.setup)
+	if r.setupErr != nil {
+		return res, fmt.Errorf("workload %s: %w", r.name, r.setupErr)
+	}
+	res.Setup = r.m.Now() - setupStart
+
+	r.m.Mark("run-start")
+	runStart := r.m.Now()
+	alloc0 := r.h.AllocatedBytes()
+	budget := int64(float64(r.env.Ops) * r.cfg.Scale)
+	if budget < 1 {
+		budget = 1
+	}
+	gcBefore := len(r.col.Collections())
+	epoch := 0
+
+	done := int64(0)
+	for done < budget {
+		needGC := false
+		r.m.Run(1, func(w *memsim.Worker) {
+			for done < budget {
+				if !r.hasPending {
+					r.pending = r.routines[r.nextR].NextOp(r.env)
+					r.nextR = (r.nextR + 1) % len(r.routines)
+					r.hasPending = true
+				}
+				if !r.applyOp(w, r.pending) {
+					needGC = true
+					return
+				}
+				if r.pending.Kind == OpInsert {
+					r.env.Keys.Acknowledge(r.pending.Key)
+				}
+				r.hasPending = false
+				done++
+				res.Ops++
+			}
+		})
+		if !needGC {
+			break
+		}
+		if err := r.h.AllocError(); err != nil {
+			return res, fmt.Errorf("workload %s: %w", r.name, err)
+		}
+		if _, err := r.col.Collect(r.cfg.GCThreads); err != nil {
+			return res, fmt.Errorf("workload %s: %w", r.name, err)
+		}
+		epoch++
+		if r.cfg.MixedGCEvery > 0 && epoch%r.cfg.MixedGCEvery == 0 {
+			if mc, ok := r.col.(mixedCollector); ok {
+				if _, err := mc.CollectMixed(r.cfg.GCThreads, 32); err != nil {
+					return res, fmt.Errorf("workload %s (mixed gc): %w", r.name, err)
+				}
+			}
+		}
+		if r.cfg.FullGCEvery > 0 && epoch%r.cfg.FullGCEvery == 0 {
+			if fc, ok := r.col.(fullCollector); ok {
+				if _, err := fc.CollectFull(r.cfg.GCThreads); err != nil {
+					return res, fmt.Errorf("workload %s (full gc): %w", r.name, err)
+				}
+			}
+		}
+		r.refreshAfterGC()
+	}
+	r.m.Mark("run-end")
+
+	res.Collections = append(res.Collections, r.col.Collections()[gcBefore:]...)
+	res.Total = r.m.Now() - runStart
+	res.GC = gc.TotalsOf(res.Collections).Pause
+	res.App = res.Total - res.GC
+	res.Allocated = r.h.AllocatedBytes() - alloc0
+	return res, nil
+}
+
+// setup allocates the old-space index tables and loads the initial
+// population (rows go straight to old space: they are the pre-existing
+// data set, not run-time garbage).
+func (r *KeyedRunner) setup(w *memsim.Worker) {
+	r.slotsPer = 256
+	if r.slotsPer > r.env.Capacity {
+		r.slotsPer = r.env.Capacity
+	}
+	nTables := (r.env.Capacity + r.slotsPer - 1) / r.slotsPer
+	for i := int64(0); i < nTables; i++ {
+		size := r.slotsPer + heap.HeaderWords
+		if size%2 != 0 {
+			size++
+		}
+		a, ok := r.h.AllocateOld(w, r.tableK, size)
+		if !ok {
+			r.setupErr = fmt.Errorf("old space cannot hold %d index tables: %v", nTables, r.h.AllocError())
+			return
+		}
+		slot, ok := r.h.Roots.Add(w, a)
+		if !ok {
+			r.setupErr = fmt.Errorf("root set full anchoring index tables")
+			return
+		}
+		r.tables = append(r.tables, a)
+		r.tableRoots = append(r.tableRoots, slot)
+	}
+	for i := int64(0); i < r.env.Records; i++ {
+		key := r.env.Keys.Next()
+		row, ok := r.h.AllocateOld(w, r.rowK, r.core.rowWords(r.cfg.Seed, key))
+		if !ok {
+			r.setupErr = fmt.Errorf("old space cannot hold the %d-record population: %v",
+				r.env.Records, r.h.AllocError())
+			return
+		}
+		r.h.Poke(heap.SlotAddr(row, 2), uint64(key))
+		arr, off := r.slotFor(key)
+		r.h.SetRef(w, arr, off, row)
+		r.env.Keys.Acknowledge(key)
+	}
+}
+
+// applyOp executes one operation, charging its memory traffic. It
+// returns false when an allocation failed (caller collects and retries
+// the same op — the stream is never redrawn).
+func (r *KeyedRunner) applyOp(w *memsim.Worker, op Op) bool {
+	if r.core.OpCPUNs > 0 {
+		w.Advance(memsim.Time(r.core.OpCPUNs))
+	}
+	switch op.Kind {
+	case OpRead:
+		r.readRow(w, op.Key)
+	case OpUpdate:
+		return r.writeRow(w, op.Key)
+	case OpInsert:
+		return r.writeRow(w, op.Key)
+	case OpScan:
+		limit := r.env.KeyCount()
+		for i := int64(0); i < op.Span && op.Key+i < limit; i++ {
+			r.readRow(w, op.Key+i)
+		}
+	case OpRMW:
+		r.readRow(w, op.Key)
+		return r.writeRow(w, op.Key)
+	}
+	return true
+}
+
+// readRow charges the index lookup and a streaming read over the row.
+func (r *KeyedRunner) readRow(w *memsim.Worker, key int64) {
+	arr, off := r.slotFor(key)
+	row := r.h.ReadWord(w, heap.SlotAddr(arr, off))
+	if r.h.RegionOf(row) == nil {
+		return // slot empty (key evicted between draw and apply)
+	}
+	r.h.ReadRange(w, row, r.core.rowWords(r.cfg.Seed, key))
+}
+
+// writeRow allocates a fresh row version in eden and repoints the index
+// slot (write barrier → remembered set). The old version, if any,
+// becomes garbage.
+func (r *KeyedRunner) writeRow(w *memsim.Worker, key int64) bool {
+	row, ok := r.h.AllocateEden(w, r.rowK, r.core.rowWords(r.cfg.Seed, key))
+	if !ok {
+		return false
+	}
+	r.h.Poke(heap.SlotAddr(row, 2), uint64(key))
+	arr, off := r.slotFor(key)
+	r.h.SetRef(w, arr, off, row)
+	return true
+}
+
+// refreshAfterGC re-reads the table addresses from their anchoring root
+// slots: young collections leave old space alone, but a full GC moves
+// the tables themselves.
+func (r *KeyedRunner) refreshAfterGC() {
+	for i, slot := range r.tableRoots {
+		r.tables[i] = r.h.Peek(slot)
+	}
+}

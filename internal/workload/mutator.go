@@ -49,6 +49,7 @@ type Result struct {
 
 	Collections []gc.CollectionStats
 	Allocated   int64 // bytes allocated in eden during the run
+	Ops         int64 // keyed-scenario operations completed (0 for legacy profiles)
 }
 
 // GCTotals aggregates the run's collections.

@@ -32,9 +32,8 @@ func LoadProfile(r io.Reader) (Profile, error) {
 	}
 	p := defaultCustomProfile()
 	if meta.Base != "" {
-		p = ByName(meta.Base)
-		if p.Name == "" {
-			return Profile{}, fmt.Errorf("workload: unknown base profile %q", meta.Base)
+		if p, err = ByName(meta.Base); err != nil {
+			return Profile{}, fmt.Errorf("workload: base profile: %w", err)
 		}
 	}
 	if err := json.Unmarshal(raw, &p); err != nil {

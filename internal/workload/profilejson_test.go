@@ -29,7 +29,7 @@ func TestLoadProfileWithBase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := ByName("page-rank")
+	base := MustByName("page-rank")
 	if p.Name != "pr-variant" || p.EdenFills != 2 {
 		t.Fatalf("overrides lost: %+v", p)
 	}

@@ -60,20 +60,40 @@ func TestProfilesTableValid(t *testing.T) {
 }
 
 func TestByNameAndFig1(t *testing.T) {
-	if ByName("page-rank").Name != "page-rank" {
-		t.Fatal("ByName failed")
+	p, err := ByName("page-rank")
+	if err != nil || p.Name != "page-rank" {
+		t.Fatalf("ByName(page-rank) = %q, %v", p.Name, err)
 	}
-	if ByName("nope").Name != "" {
-		t.Fatal("unknown app should return empty profile")
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown app should return an error, not a zero profile")
 	}
 	apps := Fig1Apps()
 	if len(apps) != 6 {
 		t.Fatalf("fig1 apps = %d", len(apps))
 	}
 	for _, a := range apps {
-		if ByName(a).Name == "" {
-			t.Fatalf("fig1 app %q missing from table", a)
+		if _, err := ByName(a); err != nil {
+			t.Fatalf("fig1 app %q missing from table: %v", a, err)
 		}
+	}
+}
+
+func TestMustByNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByName(nope) did not panic")
+		}
+	}()
+	MustByName("nope")
+}
+
+func TestValidateProfileNamesRejectsDuplicates(t *testing.T) {
+	dup := []Profile{{Name: "a"}, {Name: "b"}, {Name: "a"}}
+	if err := validateProfileNames(dup); err == nil {
+		t.Fatal("duplicate profile name not rejected")
+	}
+	if err := validateProfileNames(profiles); err != nil {
+		t.Fatalf("the shipped table is rejected: %v", err)
 	}
 }
 
@@ -84,7 +104,7 @@ func runProfile(t *testing.T, name string, kind memsim.Kind, opt gc.Options, thr
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewRunner(col, ByName(name), Config{GCThreads: threads, Scale: scale})
+	r, err := NewRunner(col, MustByName(name), Config{GCThreads: threads, Scale: scale})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +177,7 @@ func TestSurvivalRatioRoughlyHolds(t *testing.T) {
 		copied += c.BytesCopied
 	}
 	frac := float64(copied) / float64(res.Allocated)
-	p := ByName("kmeans")
+	p := MustByName("kmeans")
 	// Copied bytes per allocated byte should be in the same ballpark as
 	// the configured survival ratio (re-copying of aged survivors makes
 	// it somewhat higher).
@@ -206,7 +226,7 @@ func TestFullGCUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewRunner(col, ByName("page-rank"), Config{GCThreads: 8, Scale: 0.4, FullGCEvery: 2})
+	r, err := NewRunner(col, MustByName("page-rank"), Config{GCThreads: 8, Scale: 0.4, FullGCEvery: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +284,7 @@ func TestMixedGCUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewRunner(col, ByName("kmeans"), Config{GCThreads: 8, Scale: 0.4, MixedGCEvery: 2})
+	r, err := NewRunner(col, MustByName("kmeans"), Config{GCThreads: 8, Scale: 0.4, MixedGCEvery: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +324,7 @@ func TestPSRunsAllProfilesSmall(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := NewRunner(col, ByName(name), Config{GCThreads: 8, Scale: 0.25})
+		r, err := NewRunner(col, MustByName(name), Config{GCThreads: 8, Scale: 0.25})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,9 +5,10 @@
 # (derived from git below), whose recorded after_ns_per_op figures are
 # the before_ns_per_op numbers hardcoded in the awk block. Update those
 # numbers whenever a PR re-baselines. Also regenerates
-# results/BENCH_topology.json from the memory-tier sweep and
-# results/BENCH_faults.json from the media-fault sweep (both experiments
-# in quick mode).
+# results/BENCH_topology.json from the memory-tier sweep,
+# results/BENCH_faults.json from the media-fault sweep, and
+# results/BENCH_workloads.json from the YCSB scenario sweep (all three
+# experiments in quick mode).
 # Usage: scripts/bench_sim.sh [count]
 set -eu
 cd "$(dirname "$0")/.."
@@ -15,6 +16,7 @@ COUNT="${1:-3}"
 OUT=results/BENCH_sim.json
 TOPO_OUT=results/BENCH_topology.json
 FAULT_OUT=results/BENCH_faults.json
+WK_OUT=results/BENCH_workloads.json
 
 # The baseline commit is not hand-maintained: it is the commit that last
 # regenerated (committed) the results file — the tree the before numbers
@@ -115,3 +117,28 @@ NF == ncols {
 }
 END { printf "\n  ]\n}\n" >> out }'
 echo "wrote $FAULT_OUT"
+
+# Workload sweep: collector configurations across the YCSB core mixes
+# (A-F plus hotspot-skew variants) driving keyed populations. CSV rows
+# wrap into a JSON document exactly like the sweeps above.
+go run ./cmd/nvmbench -run workload-sweep -quick -format csv | awk -v out="$WK_OUT" '
+BEGIN { FS = "," }
+/^#/ { next }
+ncols == 0 { ncols = NF; for (i = 1; i <= NF; i++) col[i] = $i; next }
+NF == ncols {
+	if (rows++) printf ",\n" >> out
+	else {
+		printf "{\n  \"generated_by\": \"scripts/bench_sim.sh\",\n" > out
+		printf "  \"command\": \"nvmbench -run workload-sweep -quick -format csv\",\n" >> out
+		printf "  \"rows\": [\n" >> out
+	}
+	printf "    {" >> out
+	for (i = 1; i <= NF; i++) {
+		if (i > 1) printf ", " >> out
+		if ($i + 0 == $i) printf "\"%s\": %s", col[i], $i >> out
+		else printf "\"%s\": \"%s\"", col[i], $i >> out
+	}
+	printf "}" >> out
+}
+END { printf "\n  ]\n}\n" >> out }'
+echo "wrote $WK_OUT"

@@ -25,6 +25,9 @@ END {
 	floor["nvmgc/internal/gc"] = 85
 	floor["nvmgc/internal/heap"] = 80
 	floor["nvmgc/internal/memsim"] = 85
+	floor["nvmgc/internal/cassandra"] = 85
+	floor["nvmgc/internal/workload"] = 85
+	floor["nvmgc/internal/workload/generator"] = 90
 	status = 0
 	for (pkg in floor) {
 		if (total[pkg] == 0) {
