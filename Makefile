@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-sim bench-smoke profile suite-quick crash-smoke topology-smoke selfcheck-smoke fault-smoke workload-smoke fuzz-smoke cover
+.PHONY: build test verify bench bench-sim bench-smoke profile suite-quick crash-smoke topology-smoke selfcheck-smoke fault-smoke workload-smoke fleet-smoke fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test: build
 # finishes in minutes even on a single-core host.
 verify: build
 	$(GO) vet ./...
-	$(GO) test -race -short -count=1 ./internal/memsim ./internal/par ./internal/bench
+	$(GO) test -race -short -count=1 ./internal/memsim ./internal/par ./internal/bench ./internal/fleet
 	$(GO) test -run TestYoungGCSteadyStateAllocs -count=1 ./internal/gc
 
 # crash-smoke runs a reduced power-failure campaign: deterministic crash
@@ -48,6 +48,15 @@ fault-smoke: build
 # (archived by scripts/bench_sim.sh as results/BENCH_workloads.json).
 workload-smoke: build
 	$(GO) run ./cmd/nvmbench -run workload-sweep -quick
+
+# fleet-smoke runs the fleet serving experiment in quick mode: collector
+# configurations x fleet sizes under open-loop zipfian traffic with
+# hedging and retries, reporting fleet-wide p99/p999/p9999 (archived by
+# scripts/bench_sim.sh as results/BENCH_fleet.json). A 2-instance gcsim
+# run exercises the CLI path on top.
+fleet-smoke: build
+	$(GO) run ./cmd/nvmbench -run fleet -quick
+	$(GO) run ./cmd/gcsim -fleet -fleet-instances 2 -config all
 
 # fuzz-smoke replays the checked-in crash-recovery corpus and fuzzes for
 # 30s on top (regression net for the crash points earlier PRs fixed).

@@ -12,6 +12,7 @@
 //	gcsim -crash-sweep -threads 4
 //	gcsim -fault-sweep -threads 4
 //	gcsim -app page-rank -fault-wear 4096 -fault-ppm 100 -seed 7
+//	gcsim -fleet -fleet-instances 8 -fleet-qps 240000 -config all
 //	gcsim -selfcheck -selfcheck-runs 50
 package main
 
@@ -88,6 +89,14 @@ func main() {
 		quick      = flag.Bool("quick", false, "with -crash-sweep or -fault-sweep: a reduced smoke-sized sweep")
 		faultWear  = flag.Int64("fault-wear", 0, "mean per-line write budget before a hard UE on the persistent tier (0 disables wear-out; seeded by -seed)")
 		faultPPM   = flag.Int64("fault-ppm", 0, "transient read-fault probability on the persistent tier, parts per million (0 disables; seeded by -seed)")
+
+		fleetF         = flag.Bool("fleet", false, "run the fleet serving simulator (N instances, open-loop zipfian traffic, hedging/retries, fleet-wide tail percentiles) and exit")
+		fleetInstances = flag.Int("fleet-instances", 4, "with -fleet: number of server instances")
+		fleetQPS       = flag.Float64("fleet-qps", 240_000, "with -fleet: fleet-wide open-loop arrival rate, requests per virtual second")
+		fleetHedge     = flag.Int64("fleet-hedge", 2000, "with -fleet: hedge a request to the next replica after this many virtual microseconds (0 disables hedging)")
+		fleetRetry     = flag.Int64("fleet-retry", 2500, "with -fleet: per-attempt client timeout in virtual microseconds (0 disables retries)")
+		fleetRetries   = flag.Int("fleet-retries", 2, "with -fleet: retry budget per request")
+		fleetWorkload  = flag.String("fleet-workload", "cassandra-write", "with -fleet: workload scenario each instance runs (see -list-workloads)")
 
 		selfcheck     = flag.Bool("selfcheck", false, "run the differential selfcheck campaign (seeded random workloads through the reference collector vs every real configuration) and exit non-zero on divergence")
 		selfcheckRuns = flag.Int("selfcheck-runs", 50, "with -selfcheck: number of seeded workload traces")
@@ -170,6 +179,36 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(rep.Render())
+		return
+	}
+
+	if *fleetF {
+		opt, err := parseConfig(*config)
+		if err != nil {
+			fatal(err)
+		}
+		tiers, err := parseTopology(*topology)
+		if err != nil {
+			fatal(err)
+		}
+		fo := fleetOptions{
+			instances: *fleetInstances, qps: *fleetQPS,
+			hedgeUS: *fleetHedge, retryUS: *fleetRetry, retries: *fleetRetries,
+			workload: *fleetWorkload, parallel: *parallel,
+			o: options{
+				opt: opt, threads: *threads, scale: *scale, seed: *seed,
+				eagerYield: *eager, faultWear: *faultWear, faultPPM: *faultPPM,
+				tiers: tiers,
+			},
+		}
+		// Up-front validation: reject bad fleet flags before any instance
+		// machine is built.
+		if err := fo.fleetConfig().Validate(); err != nil {
+			fatal(err)
+		}
+		if err := runFleet(os.Stdout, fo); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -348,6 +387,38 @@ func parseTopology(s string) ([]memsim.TierSpec, error) {
 	return specs, nil
 }
 
+// faultTiers installs a seeded media-fault model on every persistent
+// tier of the topology (the default dram+nvm pair when tiers is nil);
+// the same seed drives the wear thresholds and transient draws, so a
+// faulty run is exactly reproducible. Nil-in stays nil when no fault
+// flags are set. Shared by the single-app path and the fleet simulator.
+func faultTiers(tiers []memsim.TierSpec, wear, ppm int64, seed uint64) []memsim.TierSpec {
+	if wear <= 0 && ppm <= 0 {
+		return tiers
+	}
+	if tiers == nil {
+		cfg := memsim.DefaultConfig()
+		tiers = memsim.DefaultTierSpecs(cfg.DRAM, cfg.NVM)
+	} else {
+		// Copy before installing the model: the caller's slice is shared
+		// by every parallel app run.
+		tiers = append([]memsim.TierSpec(nil), tiers...)
+	}
+	fm := memsim.FaultModel{
+		Seed:                seed,
+		TransientReadPPM:    ppm,
+		WearThresholdMean:   wear,
+		WearThresholdSpread: wear / 4,
+		DegradeUETrip:       32,
+	}
+	for i := range tiers {
+		if tiers[i].Persistent {
+			tiers[i].Fault = fm
+		}
+	}
+	return tiers
+}
+
 // validatePlacement rejects *-tier flags naming tiers absent from the
 // machine the run will build (the default dram/nvm pair when -topology is
 // not given).
@@ -382,27 +453,7 @@ func runApp(w io.Writer, spec workload.Spec, o options) error {
 		mc.TraceBucket = 0
 	}
 	mc.EagerYield = o.eagerYield
-	mc.Tiers = o.tiers
-	if o.faultWear > 0 || o.faultPPM > 0 {
-		// Install a seeded media-fault model on every persistent tier; the
-		// same -seed drives the wear thresholds and transient draws, so a
-		// faulty run is exactly reproducible.
-		if mc.Tiers == nil {
-			mc.Tiers = memsim.DefaultTierSpecs(mc.DRAM, mc.NVM)
-		}
-		fm := memsim.FaultModel{
-			Seed:                o.seed,
-			TransientReadPPM:    o.faultPPM,
-			WearThresholdMean:   o.faultWear,
-			WearThresholdSpread: o.faultWear / 4,
-			DegradeUETrip:       32,
-		}
-		for i := range mc.Tiers {
-			if mc.Tiers[i].Persistent {
-				mc.Tiers[i].Fault = fm
-			}
-		}
-	}
+	mc.Tiers = faultTiers(o.tiers, o.faultWear, o.faultPPM, o.seed)
 	m := memsim.NewMachine(mc)
 	hc := heap.DefaultConfig()
 	hc.HeapKind = o.kind

@@ -163,6 +163,7 @@ func All() []Experiment {
 		{"tier-sweep", "Young generation and write cache across memory tiers", TierSweep},
 		{"fault-sweep", "Faulty-NVM campaign: survival and self-healing vs wear rate", FaultSweep},
 		{"workload-sweep", "Collector configurations across YCSB scenario mixes", WorkloadSweep},
+		{"fleet", "Fleet-scale tail latency under open-loop load", FleetBench},
 	}
 }
 

@@ -12,8 +12,8 @@ func quickParams() Params {
 
 func TestRegistry(t *testing.T) {
 	exps := All()
-	if len(exps) != 23 {
-		t.Fatalf("expected 23 experiments, got %d", len(exps))
+	if len(exps) != 24 {
+		t.Fatalf("expected 24 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

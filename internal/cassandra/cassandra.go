@@ -89,12 +89,16 @@ func ReadPhase() Phase {
 	return mustPhase("read", "cassandra-read", 45*memsim.Microsecond, 16)
 }
 
-// StressResult is one point of the throughput-latency curve.
+// StressResult is one point of the throughput-latency curve. P999ms and
+// P9999ms extend the paper's p95/p99 figure into the SLO percentiles the
+// fleet experiment reports; they are zero for results produced before
+// those fields existed (Validate skips the check then).
 type StressResult struct {
-	ThroughputKQPS float64
-	P95ms, P99ms   float64
-	MeanMs         float64
-	Requests       int
+	ThroughputKQPS  float64
+	P95ms, P99ms    float64
+	P999ms, P9999ms float64
+	MeanMs          float64
+	Requests        int
 }
 
 // RunPhase executes the server-side workload under the given collector and
@@ -114,6 +118,53 @@ func RunPhase(col gc.Collector, phase Phase, cfg workload.Config) ([]Interval, m
 	return pauses, res.Total, nil
 }
 
+// Timeline is the active-time transform of a pause timeline: a server
+// only makes progress outside its GC pauses, so wall time t maps to
+// active time a(t) = t - (pause time before t), and completions computed
+// in active time map back to wall time through the inverse. The fleet
+// simulator shares this transform, one Timeline per server instance.
+type Timeline struct {
+	pauses []Interval
+	prefix []memsim.Time // prefix[i] = pause time before pauses[i]
+}
+
+// NewTimeline builds the transform from a pause timeline (copied and
+// sorted; the caller's slice is left alone).
+func NewTimeline(pauses []Interval) *Timeline {
+	ps := append([]Interval(nil), pauses...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Start < ps[j].Start })
+	prefix := make([]memsim.Time, len(ps)+1)
+	for i, p := range ps {
+		prefix[i+1] = prefix[i] + (p.End - p.Start)
+	}
+	return &Timeline{pauses: ps, prefix: prefix}
+}
+
+// Active returns the active time accumulated by wall time t.
+func (tl *Timeline) Active(t memsim.Time) memsim.Time {
+	// pause time fully before t
+	i := sort.Search(len(tl.pauses), func(i int) bool { return tl.pauses[i].End > t })
+	a := t - tl.prefix[i]
+	if i < len(tl.pauses) && t > tl.pauses[i].Start {
+		a -= t - tl.pauses[i].Start // inside pause i
+	}
+	return a
+}
+
+// Inverse returns the wall time at which active time a is reached: add
+// the durations of every pause whose start (in active time,
+// pauses[i].Start-prefix[i]) is at or before a. That start sequence is
+// increasing, so binary-search it.
+func (tl *Timeline) Inverse(a memsim.Time) memsim.Time {
+	idx := sort.Search(len(tl.pauses), func(i int) bool {
+		return tl.pauses[i].Start-tl.prefix[i] > a
+	})
+	return a + tl.prefix[idx]
+}
+
+// PauseTime returns the total paused time in the timeline.
+func (tl *Timeline) PauseTime() memsim.Time { return tl.prefix[len(tl.pauses)] }
+
 // Latencies simulates an open-loop Poisson request stream of the given
 // throughput (requests per virtual second) against a server that only
 // makes progress outside the GC pauses. It returns per-request latencies
@@ -126,33 +177,9 @@ func Latencies(pauses []Interval, window memsim.Time, throughputQPS float64, ser
 	if window <= 0 || throughputQPS <= 0 || servers < 1 {
 		return nil
 	}
-	sort.Slice(pauses, func(i, j int) bool { return pauses[i].Start < pauses[j].Start })
-	// Prefix sums of pause time for the active-time transform.
-	starts := make([]memsim.Time, len(pauses))
-	prefix := make([]memsim.Time, len(pauses)+1)
-	for i, p := range pauses {
-		starts[i] = p.Start
-		prefix[i+1] = prefix[i] + (p.End - p.Start)
-	}
-	active := func(t memsim.Time) memsim.Time {
-		// pause time fully before t
-		i := sort.Search(len(pauses), func(i int) bool { return pauses[i].End > t })
-		a := t - prefix[i]
-		if i < len(pauses) && t > pauses[i].Start {
-			a -= t - pauses[i].Start // inside pause i
-		}
-		return a
-	}
-	inverse := func(a memsim.Time) memsim.Time {
-		// Wall time whose active time is a: add the durations of every
-		// pause whose start (in active time, pauses[i].Start-prefix[i])
-		// is at or before a. That start sequence is increasing, so
-		// binary-search it.
-		idx := sort.Search(len(pauses), func(i int) bool {
-			return pauses[i].Start-prefix[i] > a
-		})
-		return a + prefix[idx]
-	}
+	tl := NewTimeline(pauses)
+	active := tl.Active
+	inverse := tl.Inverse
 
 	rng := rand.New(rand.NewPCG(seed, 0xDA7A))
 	meanGap := float64(memsim.Second) / throughputQPS
@@ -189,10 +216,15 @@ func Stress(pauses []Interval, window memsim.Time, phase Phase, throughputsKQPS 
 	for _, kqps := range throughputsKQPS {
 		l := Latencies(pauses, window, kqps*1000, phase.Service, phase.Servers, seed)
 		s := metrics.Summarize(l)
+		sorted := append([]float64(nil), l...)
+		sort.Float64s(sorted)
+		tails := metrics.PercentilesSorted(sorted, 99.9, 99.99)
 		out = append(out, StressResult{
 			ThroughputKQPS: kqps,
 			P95ms:          s.P95,
 			P99ms:          s.P99,
+			P999ms:         tails[0],
+			P9999ms:        tails[1],
 			MeanMs:         s.Mean,
 			Requests:       s.N,
 		})
@@ -201,7 +233,8 @@ func Stress(pauses []Interval, window memsim.Time, phase Phase, throughputsKQPS 
 }
 
 // Validate sanity-checks a stress result series: latency percentiles must
-// be finite and non-decreasing in percentile order.
+// be finite and non-decreasing in percentile order, through p999/p9999
+// when those fields are populated.
 func Validate(rs []StressResult) error {
 	for _, r := range rs {
 		if math.IsNaN(r.P95ms) || math.IsNaN(r.P99ms) {
@@ -209,6 +242,12 @@ func Validate(rs []StressResult) error {
 		}
 		if r.P99ms < r.P95ms {
 			return fmt.Errorf("cassandra: p99 %.3f below p95 %.3f at %0.0f kqps", r.P99ms, r.P95ms, r.ThroughputKQPS)
+		}
+		if r.P999ms != 0 && !math.IsNaN(r.P999ms) && r.P999ms < r.P99ms {
+			return fmt.Errorf("cassandra: p999 %.3f below p99 %.3f at %0.0f kqps", r.P999ms, r.P99ms, r.ThroughputKQPS)
+		}
+		if r.P9999ms != 0 && !math.IsNaN(r.P9999ms) && r.P9999ms < r.P999ms {
+			return fmt.Errorf("cassandra: p9999 %.3f below p999 %.3f at %0.0f kqps", r.P9999ms, r.P999ms, r.ThroughputKQPS)
 		}
 	}
 	return nil

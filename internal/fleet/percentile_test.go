@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// randGroups builds a deterministic set of ascending per-instance series
+// with mixed sizes (including empties).
+func randGroups(rng *rand.Rand, n int) [][]float64 {
+	groups := make([][]float64, n)
+	for i := range groups {
+		m := rng.IntN(40)
+		g := make([]float64, m)
+		for j := range g {
+			g[j] = rng.ExpFloat64() * 10
+		}
+		sort.Float64s(g)
+		groups[i] = g
+	}
+	return groups
+}
+
+// TestMergeSortedExact checks the merge against the brute force: sort the
+// concatenation of all groups.
+func TestMergeSortedExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 1))
+	for trial := 0; trial < 200; trial++ {
+		groups := randGroups(rng, 1+rng.IntN(9))
+		var brute []float64
+		for _, g := range groups {
+			brute = append(brute, g...)
+		}
+		sort.Float64s(brute)
+		merged := MergeSorted(groups)
+		if len(merged) != len(brute) {
+			t.Fatalf("trial %d: merged %d values, brute force %d", trial, len(merged), len(brute))
+		}
+		for i := range merged {
+			if merged[i] != brute[i] {
+				t.Fatalf("trial %d: merged[%d]=%v, brute force %v", trial, i, merged[i], brute[i])
+			}
+		}
+	}
+}
+
+// TestMergeSortedPermutationInvariant shuffles the instance order and
+// demands a bit-identical merged series.
+func TestMergeSortedPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	for trial := 0; trial < 100; trial++ {
+		groups := randGroups(rng, 2+rng.IntN(8))
+		want := MergeSorted(groups)
+		shuffled := append([][]float64(nil), groups...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := MergeSorted(shuffled)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length changed under permutation", trial)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: merged[%d] %v != %v under permutation", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQuantileBruteForce pins Quantile to its definition: the smallest
+// element whose rank covers p percent of the series.
+func TestQuantileBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 1))
+	ps := []float64{1, 10, 25, 50, 75, 90, 95, 99, 99.9, 99.99}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(400)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		sort.Float64s(s)
+		for _, p := range ps {
+			got := Quantile(s, p)
+			// Brute force: first index i with (i+1)/n >= p/100.
+			want := s[n-1]
+			for i := 0; i < n; i++ {
+				if float64(i+1)/float64(n) >= p/100-1e-12 {
+					want = s[i]
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("trial %d: Quantile(n=%d, p=%v) = %v, brute force %v", trial, n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestMergedQuantileProperties is the fleet-math property net: for every
+// percentile the merged quantile is monotone in percentile order and
+// sandwiched between the min and max of the per-instance quantiles. The
+// sandwich bound is the reason the fleet reports nearest-rank quantiles —
+// the interpolated estimator violates it (see the negative test below).
+func TestMergedQuantileProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(44, 1))
+	ps := []float64{1, 25, 50, 90, 95, 99, 99.9, 99.99}
+	for trial := 0; trial < 200; trial++ {
+		groups := randGroups(rng, 2+rng.IntN(6))
+		// Drop empty groups for the sandwich bound (an empty instance
+		// has no quantiles to bound with).
+		var nonEmpty [][]float64
+		for _, g := range groups {
+			if len(g) > 0 {
+				nonEmpty = append(nonEmpty, g)
+			}
+		}
+		if len(nonEmpty) == 0 {
+			continue
+		}
+		merged := MergeSorted(nonEmpty)
+		prev := math.Inf(-1)
+		for _, p := range ps {
+			q := Quantile(merged, p)
+			if q < prev {
+				t.Fatalf("trial %d: merged quantile not monotone: p%v=%v after %v", trial, p, q, prev)
+			}
+			prev = q
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, g := range nonEmpty {
+				gq := Quantile(g, p)
+				lo = math.Min(lo, gq)
+				hi = math.Max(hi, gq)
+			}
+			if q < lo || q > hi {
+				t.Fatalf("trial %d: merged p%v=%v outside per-instance range [%v, %v]", trial, p, q, lo, hi)
+			}
+		}
+	}
+}
+
+// TestQuantileEdges pins the degenerate inputs.
+func TestQuantileEdges(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 50)) {
+		t.Fatal("empty series should yield NaN")
+	}
+	s := []float64{3, 5, 9}
+	if got := Quantile(s, -5); got != 3 {
+		t.Fatalf("p<=0 should select the minimum, got %v", got)
+	}
+	if got := Quantile(s, 0); got != 3 {
+		t.Fatalf("p=0 should select the minimum, got %v", got)
+	}
+	if got := Quantile(s, 100); got != 9 {
+		t.Fatalf("p=100 should select the maximum, got %v", got)
+	}
+	if got := Quantile(s, 150); got != 9 {
+		t.Fatalf("p>100 should select the maximum, got %v", got)
+	}
+	if got := Quantile([]float64{7}, 99.9); got != 7 {
+		t.Fatalf("singleton series should yield its element, got %v", got)
+	}
+	if got := Quantile(s, 50); got != 5 {
+		t.Fatalf("median of three should be the middle element, got %v", got)
+	}
+	if n := len(MergeSorted(nil)); n != 0 {
+		t.Fatalf("merging no groups should be empty, got %d values", n)
+	}
+	// MergeSorted must copy even the single-group case (callers sort and
+	// slice the result).
+	one := []float64{1, 2}
+	m := MergeSorted([][]float64{one})
+	m[0] = 99
+	if one[0] != 1 {
+		t.Fatal("MergeSorted aliased its input")
+	}
+}
+
+// TestInterpolatedSandwichCounterexample documents why the fleet math is
+// nearest-rank: the linear-interpolation estimator breaks the sandwich
+// bound on exactly this input (two instances each observing {0ms, 1ms};
+// the interpolated p25 of each instance is 0.25 but of the merge is 0.5),
+// so fleet percentiles would not be bounded by per-instance percentiles.
+func TestInterpolatedSandwichCounterexample(t *testing.T) {
+	interp := func(s []float64, p float64) float64 {
+		// The textbook linear-interpolation sample quantile
+		// (metrics.Percentile's estimator).
+		pos := p / 100 * float64(len(s)-1)
+		lo := int(pos)
+		if lo >= len(s)-1 {
+			return s[len(s)-1]
+		}
+		return s[lo] + (pos-float64(lo))*(s[lo+1]-s[lo])
+	}
+	a := []float64{0, 1}
+	b := []float64{0, 1}
+	merged := MergeSorted([][]float64{a, b})
+	p := 25.0
+	mi := interp(merged, p)
+	if lo, hi := interp(a, p), interp(b, p); mi >= lo && mi <= hi {
+		t.Fatalf("expected the interpolated estimator to violate the sandwich bound, got %v in [%v, %v]", mi, lo, hi)
+	}
+	// Nearest-rank holds on the same input.
+	mq := Quantile(merged, p)
+	if lo, hi := Quantile(a, p), Quantile(b, p); mq < lo || mq > hi {
+		t.Fatalf("nearest-rank broke its own bound: %v outside [%v, %v]", mq, lo, hi)
+	}
+}

@@ -1,0 +1,325 @@
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"nvmgc/internal/cassandra"
+	"nvmgc/internal/memsim"
+	"nvmgc/internal/workload/generator"
+)
+
+// Traffic parameterizes the fleet's open-loop client: a single Poisson
+// arrival stream at QPS requests per virtual second, each request owned
+// by a zipfian-drawn tenant whose home shard is tenant mod fleet size.
+// Arrivals never wait for completions — requests issued during a GC
+// pause queue behind the paused instance's FIFO server pool and pay the
+// remainder of the pause, which is exactly how stop-the-world pauses
+// become tail latency in production.
+type Traffic struct {
+	// QPS is the fleet-wide open-loop arrival rate (requests per virtual
+	// second).
+	QPS float64
+	// Service is the mean per-request service time outside pauses.
+	Service memsim.Time
+	// Servers is each instance's request-processing parallelism.
+	Servers int
+
+	// Tenants is the tenant population; Theta the zipfian skew of the
+	// tenant draw. Hot tenants concentrate on their home shards, so the
+	// fleet load is deliberately unbalanced.
+	Tenants int64
+	Theta   float64
+
+	// HedgeAfter, when positive, issues a duplicate of a request to the
+	// next replica once the primary has been outstanding that long
+	// (Dean & Barroso's hedged requests). Both arms consume server
+	// capacity — the model charges the hedging tax instead of modelling
+	// cancellation — but only the first arm to complete commits the
+	// request's side effect.
+	HedgeAfter memsim.Time
+	// RetryAfter, when positive, is the per-attempt client timeout: a
+	// request still incomplete RetryAfter after its last issue is
+	// reissued to the next replica, at most MaxRetries times.
+	RetryAfter memsim.Time
+	MaxRetries int
+
+	// Seed drives every arrival, tenant, and service-time draw.
+	Seed uint64
+	// Record retains a per-request trace (tests only; large).
+	Record bool
+}
+
+// Validate rejects traffic parameters up front.
+func (tr Traffic) Validate() error {
+	if tr.QPS <= 0 {
+		return fmt.Errorf("fleet: arrival rate %g qps, want > 0", tr.QPS)
+	}
+	if tr.Service <= 0 {
+		return fmt.Errorf("fleet: service time %d, want > 0", tr.Service)
+	}
+	if tr.Servers < 1 {
+		return fmt.Errorf("fleet: %d servers per instance, want >= 1", tr.Servers)
+	}
+	if tr.Tenants < 1 {
+		return fmt.Errorf("fleet: %d tenants, want >= 1", tr.Tenants)
+	}
+	if tr.Theta <= 0 || tr.Theta >= 1 {
+		return fmt.Errorf("fleet: zipfian theta %g outside (0, 1)", tr.Theta)
+	}
+	if tr.HedgeAfter < 0 {
+		return fmt.Errorf("fleet: negative hedge delay %d", tr.HedgeAfter)
+	}
+	if tr.RetryAfter < 0 {
+		return fmt.Errorf("fleet: negative retry timeout %d", tr.RetryAfter)
+	}
+	if tr.MaxRetries < 0 {
+		return fmt.Errorf("fleet: negative retry budget %d", tr.MaxRetries)
+	}
+	return nil
+}
+
+// Stats counts what the router did.
+type Stats struct {
+	Requests  int64 // requests completed
+	Hedged    int64 // requests that issued a hedge arm
+	HedgeWins int64 // hedged requests won by the hedge arm
+	Retries   int64 // retry arms issued
+	Late      int64 // requests that missed even the last retry deadline
+	Commits   int64 // side-effect commits (must equal Requests: one per request)
+}
+
+// RequestTrace is one request's routing record (Traffic.Record).
+type RequestTrace struct {
+	ID        int64
+	Tenant    int64
+	Shard     int // home shard
+	Arms      int // attempts issued (primary + hedge + retries)
+	Winner    int // instance that served the winning arm
+	WinnerArm int
+	Hedged    bool
+	Retries   int
+	Commits   int // side-effect commits recorded (always exactly 1)
+	LatencyMs float64
+}
+
+// request is one in-flight request's state.
+type request struct {
+	id      int64
+	t0      memsim.Time
+	tenant  int64
+	shard   int
+	arms    int
+	pending int
+	retries int
+	hedged  bool
+
+	best     memsim.Time // earliest wall-clock completion over all arms
+	bestInst int
+	bestArm  int
+	commits  int
+}
+
+// event is one arm's arrival at its instance.
+type event struct {
+	at   memsim.Time
+	seq  int64 // push order: the deterministic tie-break
+	req  *request
+	arm  int
+	inst int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// router runs one traffic simulation. All state is host-side and the
+// loop is single-threaded, so the outcome is a pure function of the
+// timelines, the window, and the Traffic parameters — independent of any
+// host-pool setting.
+type router struct {
+	tr    Traffic
+	tls   []*cassandra.Timeline
+	free  [][]memsim.Time // per-instance per-server next-free, in active time
+	evq   eventHeap
+	seq   int64
+	svc   *rand.Rand
+	stats Stats
+	perI  [][]float64
+	trace []RequestTrace
+}
+
+// SimulateTraffic drives the open-loop client over the instances' pause
+// timelines for `window` of virtual time (arrivals stop at the window;
+// in-flight requests drain). It returns each instance's latency series
+// (ascending, attributed to the instance that served the winning arm),
+// the router stats, and — with Traffic.Record — the per-request traces.
+func SimulateTraffic(timelines []*cassandra.Timeline, window memsim.Time, tr Traffic) ([][]float64, Stats, []RequestTrace, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, Stats{}, nil, err
+	}
+	n := len(timelines)
+	if n < 1 {
+		return nil, Stats{}, nil, fmt.Errorf("fleet: no instances to route to")
+	}
+	if window <= 0 {
+		return nil, Stats{}, nil, fmt.Errorf("fleet: window %d, want > 0", window)
+	}
+
+	r := &router{tr: tr, tls: timelines, perI: make([][]float64, n)}
+	r.free = make([][]memsim.Time, n)
+	for i := range r.free {
+		r.free[i] = make([]memsim.Time, tr.Servers)
+	}
+	r.svc = rand.New(rand.NewPCG(tr.Seed, 0x5E12F1CE))
+	arr := rand.New(rand.NewPCG(tr.Seed, 0x0FE27A1F))
+	zipf, err := generator.NewZipfian(generator.NewRand(tr.Seed, 0x7E4A47), 0, tr.Tenants-1, tr.Theta)
+	if err != nil {
+		return nil, Stats{}, nil, fmt.Errorf("fleet: tenant distribution: %w", err)
+	}
+
+	meanGap := float64(memsim.Second) / tr.QPS
+	var reqID int64
+	nextT := memsim.Time(arr.ExpFloat64() * meanGap)
+	arrivalsDone := nextT >= window
+
+	// Merge the arrival stream and the arm-event queue in time order;
+	// ties go to the queued event (deterministic either way — seq and
+	// the arrival sequence fix the order).
+	for !arrivalsDone || r.evq.Len() > 0 {
+		if r.evq.Len() > 0 && (arrivalsDone || r.evq[0].at <= nextT) {
+			e := heap.Pop(&r.evq).(event)
+			r.processArm(e)
+			continue
+		}
+		tenant := zipf.Next()
+		req := &request{
+			id: reqID, t0: nextT, tenant: tenant,
+			shard: int(tenant % int64(n)),
+			best:  math.MaxInt64, bestInst: -1, bestArm: -1,
+		}
+		reqID++
+		r.issue(req, req.shard, nextT)
+		nextT += memsim.Time(arr.ExpFloat64()*meanGap) + 1
+		if nextT >= window {
+			arrivalsDone = true
+		}
+	}
+
+	for i := range r.perI {
+		sort.Float64s(r.perI[i])
+	}
+	return r.perI, r.stats, r.trace, nil
+}
+
+// issue schedules one arm of a request on an instance.
+func (r *router) issue(req *request, inst int, at memsim.Time) {
+	heap.Push(&r.evq, event{at: at, seq: r.seq, req: req, arm: req.arms, inst: inst})
+	r.seq++
+	req.arms++
+	req.pending++
+}
+
+// processArm serves one arm on its instance: FIFO over the instance's
+// server pool in active time, completion mapped back to wall time
+// through the pause timeline. Arms are processed in global arrival
+// order, so the per-instance FIFO discipline is exact.
+func (r *router) processArm(e event) {
+	tl := r.tls[e.inst]
+	fr := r.free[e.inst]
+	best := 0
+	for i := 1; i < len(fr); i++ {
+		if fr[i] < fr[best] {
+			best = i
+		}
+	}
+	start := tl.Active(e.at)
+	if fr[best] > start {
+		start = fr[best]
+	}
+	svc := memsim.Time(r.svc.ExpFloat64() * float64(r.tr.Service))
+	if svc < r.tr.Service/8 {
+		svc = r.tr.Service / 8
+	}
+	finish := start + svc
+	fr[best] = finish
+	wall := tl.Inverse(finish)
+
+	req := e.req
+	if wall < req.best {
+		req.best, req.bestInst, req.bestArm = wall, e.inst, e.arm
+	}
+
+	// Hedge the primary arm once its predicted completion overshoots the
+	// hedge delay (the balancer sees queue state, so it hedges at issue
+	// + HedgeAfter rather than discovering the overshoot later).
+	n := len(r.tls)
+	if e.arm == 0 && r.tr.HedgeAfter > 0 && n > 1 && wall > req.t0+r.tr.HedgeAfter {
+		req.hedged = true
+		r.stats.Hedged++
+		r.issue(req, (req.shard+1)%n, req.t0+r.tr.HedgeAfter)
+	}
+
+	req.pending--
+	if req.pending == 0 {
+		r.settle(req, e.at)
+	}
+}
+
+// settle retries a request that missed its deadline, or finalizes it.
+func (r *router) settle(req *request, now memsim.Time) {
+	n := len(r.tls)
+	if r.tr.RetryAfter > 0 && req.retries < r.tr.MaxRetries {
+		deadline := req.t0 + r.tr.RetryAfter*memsim.Time(req.retries+1)
+		if req.best > deadline {
+			req.retries++
+			r.stats.Retries++
+			at := deadline
+			if at < now {
+				// The timeout elapsed while an arm was still queued; the
+				// reissue happens now, not in the past.
+				at = now
+			}
+			r.issue(req, (req.shard+1+req.retries)%n, at)
+			return
+		}
+	}
+	r.finalize(req)
+}
+
+// finalize commits the winning arm — exactly one side-effect commit per
+// request, however many arms were hedged or retried — and records the
+// request's latency against the winning instance.
+func (r *router) finalize(req *request) {
+	req.commits++
+	r.stats.Commits++
+	r.stats.Requests++
+	if req.hedged && req.bestArm != 0 {
+		r.stats.HedgeWins++
+	}
+	if r.tr.RetryAfter > 0 && req.best > req.t0+r.tr.RetryAfter*memsim.Time(req.retries+1) {
+		r.stats.Late++
+	}
+	lat := float64(req.best-req.t0) / float64(memsim.Millisecond)
+	r.perI[req.bestInst] = append(r.perI[req.bestInst], lat)
+	if r.tr.Record {
+		r.trace = append(r.trace, RequestTrace{
+			ID: req.id, Tenant: req.tenant, Shard: req.shard,
+			Arms: req.arms, Winner: req.bestInst, WinnerArm: req.bestArm,
+			Hedged: req.hedged, Retries: req.retries,
+			Commits: req.commits, LatencyMs: lat,
+		})
+	}
+}

@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"nvmgc/internal/cassandra"
+	"nvmgc/internal/memsim"
+)
+
+// syntheticTimelines builds n pause timelines; instance 0 carries one
+// long pause in the middle of the window, the rest are pause-free.
+func syntheticTimelines(n int, pause cassandra.Interval) []*cassandra.Timeline {
+	tls := make([]*cassandra.Timeline, n)
+	for i := range tls {
+		var ps []cassandra.Interval
+		if i == 0 {
+			ps = []cassandra.Interval{pause}
+		}
+		tls[i] = cassandra.NewTimeline(ps)
+	}
+	return tls
+}
+
+func testTraffic() Traffic {
+	return Traffic{
+		QPS: 50_000, Service: 60 * memsim.Microsecond, Servers: 4,
+		Tenants: 64, Theta: 0.99, Seed: 7, Record: true,
+	}
+}
+
+const testWindow = 40 * memsim.Millisecond
+
+// TestHedgedRequestCommitsOnce is the side-effect property: however many
+// arms a request fans out to, exactly one commit is recorded — for every
+// request, not just in aggregate.
+func TestHedgedRequestCommitsOnce(t *testing.T) {
+	tls := syntheticTimelines(3, cassandra.Interval{Start: 10 * memsim.Millisecond, End: 18 * memsim.Millisecond})
+	tr := testTraffic()
+	tr.HedgeAfter = 500 * memsim.Microsecond
+	tr.RetryAfter = 4 * memsim.Millisecond
+	tr.MaxRetries = 2
+	perI, stats, traces, err := SimulateTraffic(tls, testWindow, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hedged == 0 {
+		t.Fatal("the 8ms pause should have triggered hedging")
+	}
+	if stats.HedgeWins == 0 {
+		t.Fatal("hedges to pause-free replicas should win sometimes")
+	}
+	if stats.Commits != stats.Requests {
+		t.Fatalf("%d commits for %d requests — the hedge produced a duplicate side effect", stats.Commits, stats.Requests)
+	}
+	var latencies int64
+	for _, s := range perI {
+		latencies += int64(len(s))
+	}
+	if latencies != stats.Requests {
+		t.Fatalf("%d recorded latencies for %d requests", latencies, stats.Requests)
+	}
+	if int64(len(traces)) != stats.Requests {
+		t.Fatalf("%d traces for %d requests", len(traces), stats.Requests)
+	}
+	multiArm := 0
+	for _, tc := range traces {
+		if tc.Commits != 1 {
+			t.Fatalf("request %d committed %d times (arms=%d hedged=%v retries=%d)",
+				tc.ID, tc.Commits, tc.Arms, tc.Hedged, tc.Retries)
+		}
+		if tc.Arms > 1 {
+			multiArm++
+		}
+		want := 1
+		if tc.Hedged {
+			want++
+		}
+		want += tc.Retries
+		if tc.Arms != want {
+			t.Fatalf("request %d issued %d arms, want %d (hedged=%v retries=%d)",
+				tc.ID, tc.Arms, want, tc.Hedged, tc.Retries)
+		}
+	}
+	if multiArm == 0 {
+		t.Fatal("no request fanned out to more than one arm")
+	}
+}
+
+// TestRetryCountsReproducible reruns the same traffic and demands
+// identical stats and traces; a different seed must route differently.
+func TestRetryCountsReproducible(t *testing.T) {
+	tls := syntheticTimelines(3, cassandra.Interval{Start: 8 * memsim.Millisecond, End: 20 * memsim.Millisecond})
+	tr := testTraffic()
+	tr.RetryAfter = 2 * memsim.Millisecond
+	tr.MaxRetries = 3
+	perI1, stats1, traces1, err := SimulateTraffic(tls, testWindow, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.Retries == 0 {
+		t.Fatal("the 12ms pause should have blown the 2ms retry deadline")
+	}
+	perI2, stats2, traces2, err := SimulateTraffic(tls, testWindow, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1 != stats2 {
+		t.Fatalf("same seed, different stats:\n%+v\n%+v", stats1, stats2)
+	}
+	if !reflect.DeepEqual(perI1, perI2) {
+		t.Fatal("same seed, different latency series")
+	}
+	if !reflect.DeepEqual(traces1, traces2) {
+		t.Fatal("same seed, different request traces")
+	}
+	tr.Seed = 8
+	_, stats3, _, err := SimulateTraffic(tls, testWindow, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1 == stats3 {
+		t.Fatalf("different seeds produced identical stats %+v", stats1)
+	}
+}
+
+// TestOpenLoopQueuesDuringPause is the modelling point of the fleet:
+// arrivals do not stop during a GC pause, they queue — so a pause turns
+// into tail latency on the order of the pause length, which a pause-free
+// replica never shows.
+func TestOpenLoopQueuesDuringPause(t *testing.T) {
+	pause := cassandra.Interval{Start: 10 * memsim.Millisecond, End: 16 * memsim.Millisecond}
+	tr := testTraffic()
+	tr.Tenants = 1 // pin all load to instance 0's home shard
+	paused, _, _, err := SimulateTraffic(syntheticTimelines(1, pause), testWindow, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, _, _, err := SimulateTraffic([]*cassandra.Timeline{cassandra.NewTimeline(nil)}, testWindow, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMax := paused[0][len(paused[0])-1]
+	sMax := smooth[0][len(smooth[0])-1]
+	pauseMs := float64(pause.End-pause.Start) / float64(memsim.Millisecond)
+	if pMax < pauseMs {
+		t.Fatalf("worst latency %.3fms under a %.0fms pause — arrivals did not queue through it", pMax, pauseMs)
+	}
+	if sMax > pauseMs/2 {
+		t.Fatalf("pause-free worst latency %.3fms is implausibly high", sMax)
+	}
+}
+
+// TestTrafficValidate walks each invalid parameter.
+func TestTrafficValidate(t *testing.T) {
+	base := testTraffic()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid traffic rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Traffic)
+	}{
+		{"zero qps", func(tr *Traffic) { tr.QPS = 0 }},
+		{"negative qps", func(tr *Traffic) { tr.QPS = -1 }},
+		{"zero service", func(tr *Traffic) { tr.Service = 0 }},
+		{"zero servers", func(tr *Traffic) { tr.Servers = 0 }},
+		{"zero tenants", func(tr *Traffic) { tr.Tenants = 0 }},
+		{"theta at 0", func(tr *Traffic) { tr.Theta = 0 }},
+		{"theta at 1", func(tr *Traffic) { tr.Theta = 1 }},
+		{"negative hedge", func(tr *Traffic) { tr.HedgeAfter = -1 }},
+		{"negative retry", func(tr *Traffic) { tr.RetryAfter = -1 }},
+		{"negative budget", func(tr *Traffic) { tr.MaxRetries = -1 }},
+	}
+	for _, tc := range cases {
+		tr := base
+		tc.mut(&tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, _, _, err := SimulateTraffic(nil, testWindow, base); err == nil {
+		t.Error("no instances: accepted")
+	}
+	if _, _, _, err := SimulateTraffic(syntheticTimelines(1, cassandra.Interval{}), 0, base); err == nil {
+		t.Error("zero window: accepted")
+	}
+}

@@ -6,8 +6,9 @@
 # the before_ns_per_op numbers hardcoded in the awk block. Update those
 # numbers whenever a PR re-baselines. Also regenerates
 # results/BENCH_topology.json from the memory-tier sweep,
-# results/BENCH_faults.json from the media-fault sweep, and
-# results/BENCH_workloads.json from the YCSB scenario sweep (all three
+# results/BENCH_faults.json from the media-fault sweep,
+# results/BENCH_workloads.json from the YCSB scenario sweep, and
+# results/BENCH_fleet.json from the fleet serving experiment (all four
 # experiments in quick mode).
 # Usage: scripts/bench_sim.sh [count]
 set -eu
@@ -17,6 +18,7 @@ OUT=results/BENCH_sim.json
 TOPO_OUT=results/BENCH_topology.json
 FAULT_OUT=results/BENCH_faults.json
 WK_OUT=results/BENCH_workloads.json
+FLEET_OUT=results/BENCH_fleet.json
 
 # The baseline commit is not hand-maintained: it is the commit that last
 # regenerated (committed) the results file — the tree the before numbers
@@ -142,3 +144,29 @@ NF == ncols {
 }
 END { printf "\n  ]\n}\n" >> out }'
 echo "wrote $WK_OUT"
+
+# Fleet experiment: collector configuration x fleet size x arrival rate,
+# with fleet-wide p99/p999/p9999 tails under open-loop load, hedging, and
+# bounded retries. CSV rows wrap into a JSON document exactly like the
+# sweeps above.
+go run ./cmd/nvmbench -run fleet -quick -format csv | awk -v out="$FLEET_OUT" '
+BEGIN { FS = "," }
+/^#/ { next }
+ncols == 0 { ncols = NF; for (i = 1; i <= NF; i++) col[i] = $i; next }
+NF == ncols {
+	if (rows++) printf ",\n" >> out
+	else {
+		printf "{\n  \"generated_by\": \"scripts/bench_sim.sh\",\n" > out
+		printf "  \"command\": \"nvmbench -run fleet -quick -format csv\",\n" >> out
+		printf "  \"rows\": [\n" >> out
+	}
+	printf "    {" >> out
+	for (i = 1; i <= NF; i++) {
+		if (i > 1) printf ", " >> out
+		if ($i + 0 == $i) printf "\"%s\": %s", col[i], $i >> out
+		else printf "\"%s\": \"%s\"", col[i], $i >> out
+	}
+	printf "}" >> out
+}
+END { printf "\n  ]\n}\n" >> out }'
+echo "wrote $FLEET_OUT"

@@ -26,6 +26,7 @@ END {
 	floor["nvmgc/internal/heap"] = 80
 	floor["nvmgc/internal/memsim"] = 85
 	floor["nvmgc/internal/cassandra"] = 85
+	floor["nvmgc/internal/fleet"] = 85
 	floor["nvmgc/internal/workload"] = 85
 	floor["nvmgc/internal/workload/generator"] = 90
 	status = 0
